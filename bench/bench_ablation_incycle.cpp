@@ -1,0 +1,99 @@
+// Ablation: what the in-cycle model contributes on top of the cycle-by-cycle
+// model (DESIGN.md design-choice study).
+//
+// The cycle-by-cycle model is blind to load-current content above the
+// sub-cycle rate. For a converter with lean output decoupling driven by a
+// spiky GPU trace, that blindness undersizes the noise estimate; the
+// combined model recovers it. Switch-level simulation of the same converter
+// provides ground truth.
+#include <cstdio>
+
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+#include "support/case_study.hpp"
+
+using namespace ivory;
+using namespace ivory::bench;
+
+namespace {
+
+core::ScDesign lean_converter() {
+  core::ScDesign d;
+  d.node = tech::Node::n32;
+  d.cap_kind = tech::CapKind::DeepTrench;
+  d.n = 2;
+  d.m = 1;
+  d.c_fly_f = 100e-9;
+  d.c_out_f = 100e-9;
+  d.g_tot_s = 2000.0;
+  d.f_sw_hz = 20e6;
+  return d;
+}
+
+double settled_pp(const std::vector<double>& v) {
+  const std::size_t skip = v.size() * 3 / 20;
+  return peak_to_peak(std::vector<double>(v.begin() + static_cast<long>(skip), v.end()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: cycle-by-cycle only vs combined (+ in-cycle) model ===\n");
+  std::printf("2:1 SC, 100 nF fly + 100 nF out, free-running; spiky per-SM GPU traces\n"
+              "scaled to a 0.3 A average load. Ground truth: switch-level simulation.\n\n");
+
+  CaseStudy cs;
+  cs.trace_duration_s = 20e-6;
+  cs.trace_dt_s = 1e-9;
+  const core::ScDesign d = lean_converter();
+
+  TextTable table({"benchmark", "cycle-only p-p (mV)", "combined p-p (mV)",
+                   "spice truth (mV)", "cycle-only misses"});
+  for (workload::Benchmark bench :
+       {workload::Benchmark::CFD, workload::Benchmark::BFS2, workload::Benchmark::HOTSP}) {
+    const auto currents = sm_current_traces(cs, bench, cs.sys.vout_v);
+    std::vector<double> i_load = currents[0];
+    for (double& x : i_load) x *= 0.06;  // ~0.3 A average.
+
+    const core::DynWaveform cycle_only = core::sc_cycle_response(
+        d, 3.3, 0.0, i_load, cs.trace_dt_s, core::ScControl::FreeRunning);
+    const core::DynWaveform combined = core::sc_combined_response(
+        d, 3.3, 0.0, i_load, cs.trace_dt_s, core::ScControl::FreeRunning);
+
+    // Switch-level truth.
+    const core::ScTopology topo = core::make_topology(d.n, d.m, d.family);
+    const core::ChargeVectors cv = core::charge_vectors(topo);
+    spice::Circuit ckt;
+    const core::ScNetlistResult nodes =
+        core::build_sc_netlist(ckt, topo, cv, 3.3, d.c_fly_f, d.g_tot_s, d.f_sw_hz, d.c_out_f);
+    const std::vector<double> samples = i_load;
+    const double dt = cs.trace_dt_s;
+    ckt.add_isource("iload", nodes.vout, spice::kGround,
+                    spice::Waveform::custom([samples, dt](double t) {
+                      const std::size_t k = std::min(
+                          static_cast<std::size_t>(std::max(t / dt, 0.0)), samples.size() - 1);
+                      return samples[k];
+                    }));
+    spice::TranSpec spec;
+    spec.tstop = cs.trace_duration_s;
+    spec.dt = dt;
+    spec.use_ic = true;
+    spec.method = spice::Integrator::BackwardEuler;
+    spec.record_nodes = {nodes.vout};
+    const spice::TranResult res = spice::transient(ckt, spec);
+
+    const double pp_cycle = settled_pp(cycle_only.v);
+    const double pp_comb = settled_pp(combined.v);
+    const double pp_true = settled_pp(res.at(nodes.vout));
+    table.add_row({workload::benchmark_name(bench), TextTable::num(pp_cycle * 1e3, 3),
+                   TextTable::num(pp_comb * 1e3, 3), TextTable::num(pp_true * 1e3, 3),
+                   TextTable::num(1.0 - pp_cycle / pp_true, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Expected shape: the combined model moves toward the switch-level truth; the\n"
+              "cycle-only model undersizes the noise by the last column — the reason the\n"
+              "paper pairs eq. (2) with the in-cycle model. The remaining gap is the\n"
+              "converter's own charge-sharing ripple, which the static model reports\n"
+              "separately (analyze_sc ripple_pp).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: interleaving depth of the optimal SC design (DESIGN.md
+// design-choice study).
+//
+// Interleaving slices the converter: output ripple falls ~1/N while the
+// output impedance (and thus the conversion efficiency) stays put; only the
+// replicated peripherals nibble at efficiency. This is why the case-study
+// optimum is heavily interleaved (paper: 32x).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/ivory.hpp"
+
+using namespace ivory;
+using namespace ivory::core;
+
+int main() {
+  std::printf("=== Ablation: SC interleaving depth ===\n\n");
+  SystemParams sys;
+  const DseResult base = optimize_topology(sys, IvrTopology::SwitchedCapacitor, 1);
+  if (!base.feasible) {
+    std::printf("optimizer produced no feasible design\n");
+    return 1;
+  }
+  const double i_load = sys.p_load_w / sys.vout_v;
+
+  TextTable table({"interleave N", "ripple (mV)", "efficiency (%)", "meets 10 mV budget"});
+  for (int n_il : {1, 2, 4, 8, 16, 32, 64}) {
+    ScDesign d = base.sc;
+    d.n_interleave = n_il;
+    const ScRegulated reg = analyze_sc_regulated(d, sys.vin_v, sys.vout_v, i_load);
+    if (!reg.feasible) continue;
+    const ScAnalysis& a = reg.analysis;
+    table.add_row({std::to_string(n_il), TextTable::num(a.ripple_pp_v * 1e3, 3),
+                   TextTable::num(a.efficiency * 100.0, 4),
+                   a.ripple_pp_v <= sys.ripple_max_v ? "yes" : "no"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Expected shape: ripple ~ 1/N; efficiency nearly flat (slight peripheral\n"
+              "cost per added slice). The optimizer picked N = %d.\n", base.n_interleave);
+  return 0;
+}

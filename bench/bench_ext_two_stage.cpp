@@ -1,0 +1,72 @@
+// Extension bench: hierarchical two-stage power delivery (paper
+// contribution: "hierarchical composition of multi-stage on-chip and
+// off-chip power delivery networks").
+//
+// A centralized first-stage converter drops the 3.3 V board rail to an
+// intermediate voltage; distributed second stages regulate each core domain.
+// Compares the best single-stage design against the best two-stage cascade
+// across intermediate rails.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/ivory.hpp"
+
+using namespace ivory;
+using namespace ivory::core;
+
+int main() {
+  std::printf("=== Extension: single-stage vs hierarchical two-stage IVR delivery ===\n\n");
+  const SystemParams sys;
+
+  const DseResult single = optimize_topology(sys, IvrTopology::SwitchedCapacitor, 4);
+  std::printf("single stage (3.3 V -> 1.0 V, 4 distributed): %s, eff %.1f %%\n\n",
+              single.label.c_str(), single.efficiency * 100.0);
+
+  TextTable table({"v_mid (V)", "stage1", "eff1 (%)", "stage2 (x4)", "eff2 (%)",
+                   "cascade eff (%)"});
+  TwoStageResult best;
+  for (double v_mid : {1.3, 1.6, 2.0, 2.15, 2.31}) {
+    SystemParams probe = sys;
+    TwoStageResult r;
+    // Use the optimizer's own sweep but pin the rail by narrowing the probe.
+    // (optimize_two_stage sweeps rails internally; here we show the full
+    // landscape by restricting vin/vout around each candidate.)
+    (void)probe;
+    // Evaluate one rail directly: stage 2 then stage 1, 40% area to stage 1.
+    SystemParams s2 = sys;
+    s2.vin_v = v_mid;
+    s2.area_max_m2 = sys.area_max_m2 * 0.6;
+    const DseResult r2 = optimize_topology(s2, IvrTopology::SwitchedCapacitor, 4);
+    SystemParams s1 = sys;
+    s1.vout_v = v_mid;
+    s1.area_max_m2 = sys.area_max_m2 * 0.4;
+    s1.ripple_max_v = 5.0 * sys.ripple_max_v;
+    if (r2.feasible) s1.p_load_w = sys.p_load_w / r2.efficiency;
+    const DseResult r1 =
+        r2.feasible ? optimize_topology(s1, IvrTopology::SwitchedCapacitor, 1) : DseResult{};
+    if (r1.feasible && r2.feasible) {
+      table.add_row({TextTable::num(v_mid, 3), r1.label, TextTable::num(r1.efficiency * 100, 3),
+                     r2.label, TextTable::num(r2.efficiency * 100, 3),
+                     TextTable::num(r1.efficiency * r2.efficiency * 100, 3)});
+    } else {
+      table.add_row({TextTable::num(v_mid, 3), r1.feasible ? r1.label : "infeasible", "-",
+                     r2.feasible ? r2.label : "infeasible", "-", "-"});
+    }
+    (void)r;
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const TwoStageResult two = optimize_two_stage(sys, 4);
+  if (two.feasible) {
+    std::printf("best two-stage: %.2f V rail, %s + %s, cascade eff %.1f %% "
+                "(single stage: %.1f %%)\n",
+                two.v_mid_v, two.stage1.label.c_str(), two.stage2.label.c_str(),
+                two.efficiency * 100.0, single.efficiency * 100.0);
+    std::printf("\nExpected shape: the cascade multiplies two conversion losses, so for this\n"
+                "3.3:1 ratio a well-chosen single-stage SC wins — hierarchy pays off only\n"
+                "when no single topology spans the full ratio efficiently.\n");
+  } else {
+    std::printf("no feasible two-stage cascade under these constraints\n");
+  }
+  return 0;
+}

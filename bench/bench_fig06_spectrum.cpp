@@ -1,0 +1,110 @@
+// Reproduces Fig. 6: the regulation effect of an SC converter at high
+// frequency, compared against a bare decoupling capacitor of the same value.
+//
+// A synthetic noise current with tones at 1 MHz, 5 MHz and 100 MHz drives
+// (a) a 2 MHz-switching SC converter with 1 nF of fly capacitance
+// (simulated switch-level in ivory_spice) and (b) a bare 1 nF capacitor.
+// Above the switching frequency the two FFT spectra must coincide — the
+// converter has no regulation authority there (eqs. 3-5) — while below it
+// the converter suppresses the noise. The analytical transfer function of
+// the dynamic model is printed alongside.
+#include <cmath>
+#include <cstdio>
+
+#include "common/fft.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/ivory.hpp"
+
+using namespace ivory;
+
+int main() {
+  std::printf("=== Fig. 6: IVR regulation vs a decoupling capacitor (FFT) ===\n");
+  std::printf("2 MHz 2:1 SC with 1 nF fly cap vs bare 1 nF cap; tones at 1/5/100 MHz.\n\n");
+
+  const double f_sw = 2e6;
+  const double c_fly = 1e-9;
+  const double dt = 1e-9;
+  const int n_samples = 1 << 16;  // 65.5 us window.
+  const double i_dc = 0.0;  // Pure noise: a DC load would ramp the bare-cap arm.
+
+  // Tones are injected one at a time: the converter's switching action
+  // spreads each response into f0 +/- k*f_sw sidebands, and with all three
+  // tones at once the 1 MHz tone's second sideband lands exactly on 5 MHz.
+  auto run = [&](bool converter, double f_tone) {
+    const spice::Waveform noise = spice::Waveform::custom([=](double t) {
+      return i_dc + 0.01 * std::sin(2.0 * pi * f_tone * t);
+    });
+    spice::Circuit ckt;
+    spice::NodeId vout;
+    if (converter) {
+      const core::ScTopology topo = core::make_topology(2, 1);
+      const core::ChargeVectors cv = core::charge_vectors(topo);
+      const core::ScNetlistResult nodes =
+          core::build_sc_netlist(ckt, topo, cv, 2.0, c_fly, 10.0, f_sw, /*c_out=*/0.0,
+                                 /*duty=*/0.5);  // No dead time: the fly cap
+                                                 // must face the load at every
+                                                 // instant (no output decap).
+      vout = nodes.vout;
+    } else {
+      vout = ckt.node("vout");
+      // Bare capacitor biased to the same operating point.
+      ckt.add_capacitor_ic("c", vout, spice::kGround, c_fly, 1.0);
+      // A very weak keeper pins the DC level without touching the MHz-range
+      // response (1 Mohm >> the capacitor impedance at every tone).
+      const spice::NodeId ref = ckt.node("ref");
+      ckt.add_vsource("vref", ref, spice::kGround, spice::Waveform::dc(1.0));
+      ckt.add_resistor("rkeep", ref, vout, 1e6);
+    }
+    ckt.add_isource("inoise", vout, spice::kGround, noise);
+    spice::TranSpec spec;
+    spec.tstop = n_samples * dt;
+    spec.dt = dt;
+    spec.use_ic = true;
+    spec.method = spice::Integrator::BackwardEuler;
+    spec.record_nodes = {vout};
+    const spice::TranResult res = spice::transient(ckt, spec);
+    std::vector<double> v = res.at(vout);
+    v.resize(static_cast<std::size_t>(n_samples));
+    return amplitude_spectrum(v, 1.0 / dt);
+  };
+
+  // The switched network chops part of a tone's stored-charge response into
+  // f0 +/- k*f_sw sidebands, so the fair comparison is the RMS noise in a
+  // band around each tone rather than the single FFT bin.
+  auto band_rms = [&](const std::vector<SpectrumPoint>& spec, double f0) {
+    const double half_band = 1.6 * f_sw;
+    double acc = 0.0;
+    for (const SpectrumPoint& pt : spec) {
+      if (pt.frequency_hz < 1e5) continue;  // Exclude the DC/keeper bin.
+      if (std::fabs(pt.frequency_hz - f0) <= half_band) acc += pt.amplitude * pt.amplitude;
+    }
+    return std::sqrt(acc / 2.0);
+  };
+
+  core::NoiseTransfer nt;
+  nt.f_sw_hz = f_sw;
+  // For a dead-time-free 2:1 converter the full fly capacitance faces the
+  // output incrementally in BOTH phases (across it in one, to the stiff
+  // input in the other).
+  nt.c_hf_f = c_fly;
+  nt.r_out_ohm = 1.0 / (4.0 * f_sw * c_fly);
+  nt.ctrl_gain = 10.0;
+
+  TextTable table({"tone", "SC band rms (mV)", "cap band rms (mV)", "SC/cap ratio",
+                   "model |H|/|F_L|"});
+  for (double f0 : {1e6, 5e6, 100e6}) {
+    const double a_conv = band_rms(run(true, f0), f0) * 1e3;
+    const double a_cap = band_rms(run(false, f0), f0) * 1e3;
+    const double model = std::abs(nt.rejection(f0)) / std::abs(nt.f_load(f0));
+    table.add_row({TextTable::si(f0, "Hz"), TextTable::num(a_conv, 3), TextTable::num(a_cap, 3),
+                   TextTable::num(a_conv / a_cap, 3), TextTable::num(model, 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Expected shape: ratio ~1 at tones >= f_sw — the converter decouples exactly\n"
+              "like its fly capacitance there (paper eq. 5). Below f_sw the passive ratio\n"
+              "already dips (input re-referencing); the model column shows the additional\n"
+              "suppression a closed feedback loop contributes (captured by the\n"
+              "cycle-by-cycle model, not by this open-loop netlist).\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Reproduces Fig. 7: SC-converter efficiency validation.
+//
+// Left plot: Ivory vs silicon measurements of a 32 nm SOI reconfigurable SC
+// converter in its 3:2 and 2:1 configurations (efficiency vs regulated
+// output voltage). Right plot: Ivory vs circuit simulation of 2:1 and 3:1
+// designs in low and high capacitor-density processes.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/ivory.hpp"
+#include "support/refdata.hpp"
+
+using namespace ivory;
+using ivory::bench::CurvePoint;
+
+namespace {
+
+// An Ivory design matched to the published 32 nm part: ~1 nF-class fly
+// capacitance, sized so the efficiency peak lands where the silicon's does.
+core::ScDesign part_32nm(int n, int m) {
+  core::ScDesign d;
+  d.node = tech::Node::n32;
+  d.cap_kind = tech::CapKind::Mim;  // The SOI part's custom low-parasitic caps.
+  d.n = n;
+  d.m = m;
+  d.family = core::ScFamily::Ladder;
+  d.c_fly_f = 20e-9;
+  d.c_out_f = 5e-9;
+  d.g_tot_s = 12.0;
+  d.f_sw_hz = 250e6;
+  d.n_interleave = 2;
+  return d;
+}
+
+void compare(const char* title, const std::vector<CurvePoint>& measured,
+             const core::ScDesign& d, double vin, double i_load) {
+  std::printf("--- %s ---\n", title);
+  TextTable table({"Vout (V)", "measured eff", "Ivory eff", "delta"});
+  double worst = 0.0;
+  int compared = 0;
+  double prev_y = 0.0;
+  bool collapsed = false;
+  for (const CurvePoint& p : measured) {
+    // Past the efficiency cliff the silicon is non-functional (aggravated
+    // leakage); the paper excludes these points and so do we.
+    if (p.y < prev_y - 0.05) collapsed = true;
+    prev_y = p.y;
+    const core::ScRegulated r = core::analyze_sc_regulated(d, vin, p.x, i_load);
+    if (collapsed || !r.feasible) {
+      table.add_row({TextTable::num(p.x, 3), TextTable::num(p.y, 3), "(cliff)", "-"});
+      continue;
+    }
+    const double delta = r.analysis.efficiency - p.y;
+    worst = std::max(worst, std::fabs(delta));
+    ++compared;
+    table.add_row({TextTable::num(p.x, 3), TextTable::num(p.y, 3),
+                   TextTable::num(r.analysis.efficiency, 3), TextTable::num(delta, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("functional-range points compared: %d, worst |delta|: %.3f\n\n", compared, worst);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 7: efficiency validation for SC converters ===\n\n");
+
+  // Left: 32 nm SOI measurements (1.8 V rail).
+  compare("3:2 config vs 32nm silicon", ivory::bench::measured_sc_32nm_3to2(), part_32nm(3, 2),
+          1.8, 0.02);
+  compare("2:1 config vs 32nm silicon", ivory::bench::measured_sc_32nm_2to1(), part_32nm(2, 1),
+          1.8, 0.02);
+
+  // Right: low vs high capacitor-density processes at 10 nm-class nodes;
+  // the circuit-simulation baseline here is ivory_spice steady state.
+  std::printf("--- 2:1 and 3:1, low (MOS) vs high (deep-trench) cap density, 10nm ---\n");
+  TextTable table({"design", "cap", "Ivory eff", "spice-sim eff", "delta"});
+  for (int n : {2, 3}) {
+    for (tech::CapKind kind : {tech::CapKind::MosCap, tech::CapKind::DeepTrench}) {
+      core::ScDesign d;
+      d.node = tech::Node::n10;
+      d.cap_kind = kind;
+      d.n = n;
+      d.m = 1;
+      d.family = core::ScFamily::Ladder;
+      d.c_fly_f = 4e-9;
+      d.c_out_f = 1e-9;
+      d.g_tot_s = 20.0;
+      d.f_sw_hz = 100e6;
+      const double vin = 1.5;
+      const double i_load = 0.05;
+      const core::ScAnalysis a = core::analyze_sc(d, vin, i_load);
+
+      // Circuit-simulated efficiency: average output power / input power over
+      // the settled tail of a switch-level transient.
+      const core::ScTopology topo = core::make_topology(d.n, d.m, d.family);
+      const core::ChargeVectors cv = core::charge_vectors(topo);
+      spice::Circuit ckt;
+      const core::ScNetlistResult nodes = core::build_sc_netlist(
+          ckt, topo, cv, vin, d.c_fly_f, d.g_tot_s, d.f_sw_hz, d.c_out_f);
+      ckt.add_isource("iload", nodes.vout, spice::kGround, spice::Waveform::dc(i_load));
+      spice::TranSpec spec;
+      spec.tstop = 60.0 / d.f_sw_hz;
+      spec.dt = 1.0 / (200.0 * d.f_sw_hz);
+      spec.use_ic = true;
+      spec.method = spice::Integrator::BackwardEuler;
+      spec.record_nodes = {nodes.vout};
+      const spice::TranResult res = spice::transient(ckt, spec);
+      const std::vector<double>& v = res.at(nodes.vout);
+      double vo = 0.0;
+      int cnt = 0;
+      for (std::size_t k = v.size() * 3 / 4; k < v.size(); ++k) {
+        vo += v[k];
+        ++cnt;
+      }
+      vo /= cnt;
+      // Simulated conversion chain: same input charge ratio, same switching
+      // overheads as the model's estimate for everything the netlist does
+      // not capture (gate drive is not in the switch-level netlist).
+      const double p_out_sim = vo * i_load;
+      const double p_in_sim = vin * topo.ideal_ratio() * i_load + a.p_gate_w +
+                              a.p_bottom_plate_w + a.p_leakage_w + a.p_peripheral_w;
+      const double eff_sim = p_out_sim / p_in_sim;
+
+      table.add_row({std::to_string(n) + ":1", tech::cap_kind_name(kind),
+                     TextTable::num(a.efficiency, 3), TextTable::num(eff_sim, 3),
+                     TextTable::num(a.efficiency - eff_sim, 2)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Expected shape: Ivory tracks measurement/simulation within a few percent over\n"
+              "the functional range; high-density caps lift efficiency at both ratios.\n");
+  return 0;
+}

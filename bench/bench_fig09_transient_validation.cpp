@@ -1,0 +1,195 @@
+// Reproduces Fig. 9: transient voltage response validation of (a) the
+// cycle-by-cycle model and (b) the in-cycle model against switch-level
+// simulation of the identical converter.
+#include <cmath>
+#include <cstdio>
+
+#include "common/fft.hpp"
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/ivory.hpp"
+
+using namespace ivory;
+
+namespace {
+
+core::ScDesign converter() {
+  core::ScDesign d;
+  d.node = tech::Node::n32;
+  d.cap_kind = tech::CapKind::DeepTrench;
+  d.n = 2;
+  d.m = 1;
+  d.c_fly_f = 100e-9;
+  d.c_out_f = 100e-9;
+  // Strong switches: their on-resistance must stay well below the fly cap's
+  // impedance at the highest validated noise frequency, or the fly is
+  // R-isolated and stops decoupling (a real effect, outside the in-cycle
+  // model's scope).
+  d.g_tot_s = 2000.0;
+  d.f_sw_hz = 20e6;
+  return d;
+}
+
+spice::TranResult simulate(const core::ScDesign& d, const spice::Waveform& load,
+                           double tstop, spice::NodeId* vout_node, spice::Circuit& ckt) {
+  const core::ScTopology topo = core::make_topology(d.n, d.m, d.family);
+  const core::ChargeVectors cv = core::charge_vectors(topo);
+  const core::ScNetlistResult nodes =
+      core::build_sc_netlist(ckt, topo, cv, 3.3, d.c_fly_f, d.g_tot_s, d.f_sw_hz, d.c_out_f);
+  ckt.add_isource("iload", nodes.vout, spice::kGround, load);
+  spice::TranSpec spec;
+  spec.tstop = tstop;
+  spec.dt = 1.0 / (400.0 * d.f_sw_hz);
+  spec.use_ic = true;
+  spec.method = spice::Integrator::BackwardEuler;
+  spec.record_nodes = {nodes.vout};
+  *vout_node = nodes.vout;
+  return spice::transient(ckt, spec);
+}
+
+// Samples a recorded simulation waveform at time t (nearest step).
+double sample_at(const spice::TranResult& res, spice::NodeId node, double t) {
+  const std::vector<double>& v = res.at(node);
+  std::size_t lo = 0, hi = res.time.size() - 1;
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    (res.time[mid] <= t ? lo : hi) = mid;
+  }
+  return v[lo];
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 9: transient response validation vs switch-level simulation ===\n\n");
+  const core::ScDesign d = converter();
+
+  // ---- (a) cycle-by-cycle: response to a load current step ----
+  {
+    const double tstop = 40e-6;
+    const double dt = 5e-9;
+    const double t_step = 20e-6;
+    const spice::Waveform load = spice::Waveform::custom(
+        [t_step](double t) { return t < t_step ? 0.1 : 0.25; });
+    std::vector<double> trace(static_cast<std::size_t>(tstop / dt));
+    for (std::size_t k = 0; k < trace.size(); ++k)
+      trace[k] = load(static_cast<double>(k) * dt);
+
+    const core::DynWaveform model = core::sc_cycle_response(
+        d, 3.3, 0.0, trace, dt, core::ScControl::FreeRunning);
+    spice::Circuit ckt;
+    spice::NodeId vout;
+    const spice::TranResult sim = simulate(d, load, tstop, &vout, ckt);
+
+    TextTable table({"t (us)", "cycle model (V)", "simulation (V)", "delta (mV)"});
+    double worst = 0.0;
+    for (double t_us : {5.0, 15.0, 20.5, 21.0, 22.0, 25.0, 35.0}) {
+      const double t = t_us * 1e-6;
+      const double vm = model.v[static_cast<std::size_t>(t / dt)];
+      const double vs = sample_at(sim, vout, t);
+      worst = std::max(worst, std::fabs(vm - vs));
+      table.add_row({TextTable::num(t_us, 3), TextTable::num(vm, 4), TextTable::num(vs, 4),
+                     TextTable::num((vm - vs) * 1e3, 2)});
+    }
+    std::printf("--- (a) cycle-by-cycle model, 0.1 -> 0.25 A load step at 20 us ---\n%s",
+                table.render().c_str());
+    std::printf("worst |delta| at probe points: %.1f mV\n\n", worst * 1e3);
+  }
+
+  // ---- (b) in-cycle: response to load noise above the switching frequency ----
+  {
+    // 4.65x the converter's 20 MHz — deliberately NOT a harmonic of f_sw so
+    // the FFT bin isolates the tone from the converter's own ripple.
+    const double f_noise = 93e6;
+    const double amp = 0.05;
+    const double tstop = 8e-6;
+    const double dt = 0.5e-9;
+    const spice::Waveform load = spice::Waveform::custom([=](double t) {
+      return 0.1 + amp * std::sin(2.0 * pi * f_noise * t);
+    });
+    std::vector<double> trace(static_cast<std::size_t>(tstop / dt));
+    for (std::size_t k = 0; k < trace.size(); ++k)
+      trace[k] = load(static_cast<double>(k) * dt);
+
+    // In-cycle model: HF deviation on the connected capacitance.
+    const std::vector<double> hf =
+        core::in_cycle_response(trace, dt, 1.0 / d.f_sw_hz, core::sc_output_hf_cap(d));
+
+    // The switched network is linear time-varying and the clock pattern is
+    // time-driven, so running the identical simulation with and without the
+    // tone and subtracting isolates the tone response exactly (switching
+    // ripple and charge-sharing glitches cancel by superposition).
+    spice::Circuit ckt_a, ckt_b;
+    spice::NodeId vout_a, vout_b;
+    const spice::TranResult sim_with = simulate(d, load, tstop, &vout_a, ckt_a);
+    const spice::TranResult sim_without =
+        simulate(d, spice::Waveform::dc(0.1), tstop, &vout_b, ckt_b);
+    const std::vector<double>& va = sim_with.at(vout_a);
+    const std::vector<double>& vb = sim_without.at(vout_b);
+    const double dt_sim = sim_with.time[1] - sim_with.time[0];
+    std::vector<double> settled;
+    for (std::size_t k = va.size() / 2; k < va.size() && k < vb.size(); ++k)
+      settled.push_back(va[k] - vb[k]);
+    const auto spectrum = amplitude_spectrum(settled, 1.0 / dt_sim);
+    const double sim_amp = spectrum_amplitude_at(spectrum, f_noise);
+
+    // The in-cycle model's prediction for the same tone, also by FFT.
+    std::vector<double> hf_settled(hf.begin() + static_cast<long>(hf.size() / 2), hf.end());
+    const auto model_spectrum = amplitude_spectrum(hf_settled, 1.0 / dt);
+    const double model_tone = spectrum_amplitude_at(model_spectrum, f_noise);
+
+    const double analytic = amp / (2.0 * pi * f_noise * core::sc_output_hf_cap(d));
+    TextTable table({"quantity", "in-cycle model", "simulation", "analytic I/(wC)"});
+    table.add_row({"93 MHz tone amplitude", TextTable::si(model_tone, "V"),
+                   TextTable::si(sim_amp, "V"), TextTable::si(analytic, "V")});
+    std::printf("--- (b) in-cycle model, 93 MHz load noise on a 20 MHz converter ---\n%s",
+                table.render().c_str());
+    std::printf("ratio model/simulation: %.2f\n\n", model_tone / sim_amp);
+  }
+
+  // ---- (c) reference regulation: vref step vs closed-loop circuit ----
+  {
+    core::ScDesign dr = converter();
+    dr.c_fly_f = 20e-9;   // Fine charge packets for hysteretic control.
+    dr.c_out_f = 500e-9;
+    const double dt = 2e-9, tstop = 12e-6;
+    const std::size_t n = static_cast<std::size_t>(tstop / dt);
+    TextTable table({"vref", "cycle model mean (V)", "closed-loop sim mean (V)", "delta (mV)"});
+    for (double vref : {0.80, 0.90}) {
+      const core::DynWaveform model = core::sc_cycle_response_traces(
+          dr, std::vector<double>(n, 3.3 / 1.65), std::vector<double>(n, vref),
+          std::vector<double>(n, 0.05), dt);
+      // Closed-loop switch-level simulation via gated switches.
+      const core::ScTopology topo = core::make_topology(dr.n, dr.m, dr.family);
+      const core::ChargeVectors cv = core::charge_vectors(topo);
+      spice::Circuit ckt;
+      const core::ScNetlistResult nodes = core::build_sc_netlist_regulated(
+          ckt, topo, cv, spice::Waveform::dc(2.0), vref, 2e-3, dr.c_fly_f, dr.g_tot_s,
+          dr.f_sw_hz, dr.c_out_f);
+      ckt.add_isource("iload", nodes.vout, spice::kGround, spice::Waveform::dc(0.05));
+      spice::TranSpec spec;
+      spec.tstop = tstop;
+      spec.dt = 1.0 / (200.0 * dr.f_sw_hz);
+      spec.use_ic = true;
+      spec.method = spice::Integrator::BackwardEuler;
+      spec.record_nodes = {nodes.vout};
+      const spice::TranResult res = spice::transient(ckt, spec);
+      const std::vector<double>& vs = res.at(nodes.vout);
+      std::vector<double> sim_tail(vs.end() - static_cast<long>(vs.size() / 4), vs.end());
+      std::vector<double> mdl_tail(model.v.end() - static_cast<long>(model.v.size() / 4),
+                                   model.v.end());
+      table.add_row({TextTable::num(vref, 3), TextTable::num(mean(mdl_tail), 4),
+                     TextTable::num(mean(sim_tail), 4),
+                     TextTable::num((mean(mdl_tail) - mean(sim_tail)) * 1e3, 2)});
+    }
+    std::printf("--- (c) reference regulation (DVFS setpoints) vs closed-loop circuit ---\n%s\n",
+                table.render().c_str());
+  }
+
+  std::printf("Expected shape: the cycle model tracks droop and recovery within a few mV;\n"
+              "the in-cycle model reproduces the above-f_sw ripple amplitude; the\n"
+              "regulated means agree across reference setpoints (line and load regulation\n"
+              "are exercised in tests/test_regulation.cpp).\n");
+  return 0;
+}

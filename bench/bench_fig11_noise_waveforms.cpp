@@ -1,0 +1,73 @@
+// Reproduces Fig. 11: supply-voltage waveforms of the CFD workload under the
+// four VR configurations, and their peak-to-peak noise ranges.
+//
+// Paper reference values: off-chip VRM 125 mV, centralized IVR 59 mV, two
+// distributed IVRs 55 mV, four distributed IVRs 25 mV.
+#include <cstdio>
+
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+#include "support/case_study.hpp"
+
+using namespace ivory;
+using namespace ivory::bench;
+
+namespace {
+
+// Compact ASCII rendering of a waveform (min/mean/max per column).
+void print_sparkline(const std::vector<double>& v, double dt) {
+  constexpr int kCols = 72;
+  constexpr int kRows = 8;
+  const std::size_t skip = v.size() * 3 / 20;
+  const std::vector<double> w(v.begin() + static_cast<long>(skip), v.end());
+  const double lo = min_value(w), hi = max_value(w);
+  if (hi - lo < 1e-9) return;
+  std::vector<std::string> grid(kRows, std::string(kCols, ' '));
+  const std::size_t per_col = w.size() / kCols;
+  for (int c = 0; c < kCols; ++c) {
+    double cmin = 1e9, cmax = -1e9;
+    for (std::size_t k = c * per_col; k < (c + 1) * per_col && k < w.size(); ++k) {
+      cmin = std::min(cmin, w[k]);
+      cmax = std::max(cmax, w[k]);
+    }
+    const int rlo = static_cast<int>((cmin - lo) / (hi - lo) * (kRows - 1));
+    const int rhi = static_cast<int>((cmax - lo) / (hi - lo) * (kRows - 1));
+    for (int r = rlo; r <= rhi; ++r) grid[static_cast<std::size_t>(kRows - 1 - r)][c] = '#';
+  }
+  std::printf("  %.3f V\n", hi);
+  for (const std::string& row : grid) std::printf("  |%s|\n", row.c_str());
+  std::printf("  %.3f V  (%.0f us window)\n", lo,
+              static_cast<double>(w.size()) * dt * 1e6);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 11: voltage noise waveforms (CFD) with varying VR configurations ===\n");
+  std::printf("Paper noise ranges: Off VRM 125 mV | 1 Cen IVR 59 mV | 2 Dis 55 mV | 4 Dis 25 mV\n\n");
+
+  const CaseStudy cs;
+  TextTable table({"VR configuration", "noise range (measured)", "paper"});
+  const char* paper_vals[] = {"125 mV", "59 mV", "55 mV", "25 mV"};
+
+  int idx = 0;
+  for (VrConfig config : kAllVrConfigs) {
+    core::DseResult ivr;
+    if (config != VrConfig::OffChipVrm)
+      ivr = core::optimize_topology(cs.sys, core::IvrTopology::SwitchedCapacitor,
+                                    vr_config_domains(config));
+    const auto currents = sm_current_traces(cs, workload::Benchmark::CFD, cs.sys.vout_v);
+    const std::vector<double> wave = supply_waveform(cs, config, ivr, currents);
+
+    const std::size_t skip = wave.size() * 3 / 20;
+    const std::vector<double> tail(wave.begin() + static_cast<long>(skip), wave.end());
+    const double pp = peak_to_peak(tail);
+    table.add_row({vr_config_name(config), TextTable::si(pp, "V"), paper_vals[idx++]});
+
+    std::printf("--- %s ---\n", vr_config_name(config));
+    print_sparkline(wave, cs.trace_dt_s);
+    std::printf("\n");
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Fig. 13: power-delivery-subsystem optimization — the loss
+// breakdown and end-to-end efficiency of each PDS design, with voltage
+// guardbands taken from the worst-case dynamic noise of Fig. 10.
+//
+// Paper headline: "The optimal PDS solution by Ivory achieves a 9.5% power
+// efficiency improvement over the previous off-chip VRM-based PDS, without
+// any performance loss."
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "support/case_study.hpp"
+
+using namespace ivory;
+using namespace ivory::bench;
+using core::PdsBreakdown;
+
+int main() {
+  std::printf("=== Fig. 13: power delivery system optimization ===\n\n");
+  const CaseStudy cs;
+
+  TextTable table({"PDS design", "guardband", "core useful (W)", "guardband loss",
+                   "grid IR", "PDN IR", "IVR loss", "VRM loss", "total in (W)",
+                   "efficiency (%)"});
+
+  double eff_offchip = 0.0, eff_best = 0.0;
+  std::string best_name;
+  for (VrConfig config : kAllVrConfigs) {
+    const int n_dom = vr_config_domains(config);
+    core::DseResult ivr;
+    if (n_dom > 0)
+      ivr = core::optimize_topology(cs.sys, core::IvrTopology::SwitchedCapacitor, n_dom);
+
+    // Guardband = worst-case supply noise across all benchmarks.
+    const double guard = guardband_for(cs, config, ivr);
+
+    const PdsBreakdown b =
+        n_dom == 0
+            ? core::evaluate_pds_offchip(cs.sys, cs.pdn, cs.v_core_nom, guard)
+            : core::evaluate_pds_ivr(cs.sys, cs.pdn, ivr, cs.v_core_nom, guard);
+
+    table.add_row({vr_config_name(config), TextTable::si(guard, "V"),
+                   TextTable::num(b.p_core_useful_w, 3), TextTable::num(b.p_guardband_w, 3),
+                   TextTable::num(b.p_grid_ir_w, 3), TextTable::num(b.p_pdn_ir_w, 3),
+                   TextTable::num(b.p_ivr_loss_w, 3), TextTable::num(b.p_vrm_loss_w, 3),
+                   TextTable::num(b.p_total_w, 4), TextTable::num(b.efficiency * 100.0, 3)});
+
+    if (n_dom == 0) eff_offchip = b.efficiency;
+    if (b.efficiency > eff_best) {
+      eff_best = b.efficiency;
+      best_name = vr_config_name(config);
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Optimal PDS: %s. Power-efficiency improvement over the off-chip VRM PDS: "
+              "%.1f points\n(paper: 9.5%%).\n",
+              best_name.c_str(), (eff_best - eff_offchip) * 100.0);
+  return 0;
+}

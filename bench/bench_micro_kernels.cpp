@@ -1,0 +1,114 @@
+// Google-benchmark microbenchmarks of Ivory's computational kernels: the
+// charge-multiplier solver, static analyses, the cycle-by-cycle dynamic
+// model, one MNA transient step stream, and the FFT.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/fft.hpp"
+#include "core/ivory.hpp"
+
+using namespace ivory;
+
+namespace {
+
+void BM_ChargeVectors_SeriesParallel5(benchmark::State& state) {
+  const core::ScTopology topo = core::series_parallel(5);
+  for (auto _ : state) benchmark::DoNotOptimize(core::charge_vectors(topo));
+}
+BENCHMARK(BM_ChargeVectors_SeriesParallel5);
+
+void BM_ChargeVectors_Ladder6to5(benchmark::State& state) {
+  const core::ScTopology topo = core::ladder(6, 5);
+  for (auto _ : state) benchmark::DoNotOptimize(core::charge_vectors(topo));
+}
+BENCHMARK(BM_ChargeVectors_Ladder6to5);
+
+void BM_AnalyzeSc(benchmark::State& state) {
+  core::ScDesign d;
+  d.n = 3;
+  d.m = 1;
+  d.cap_kind = tech::CapKind::DeepTrench;
+  d.c_fly_f = 4e-6;
+  d.c_out_f = 1e-6;
+  d.g_tot_s = 15000.0;
+  d.f_sw_hz = 80e6;
+  d.n_interleave = 16;
+  for (auto _ : state) benchmark::DoNotOptimize(core::analyze_sc(d, 3.3, 20.0));
+}
+BENCHMARK(BM_AnalyzeSc);
+
+void BM_AnalyzeBuck(benchmark::State& state) {
+  core::BuckDesign d;
+  d.inductor = tech::InductorKind::IntegratedInterposer;
+  d.l_per_phase_h = 5e-9;
+  d.f_sw_hz = 100e6;
+  d.n_phases = 4;
+  d.w_high_m = 0.08;
+  d.w_low_m = 0.10;
+  d.c_out_f = 1e-6;
+  for (auto _ : state) benchmark::DoNotOptimize(core::analyze_buck(d, 3.3, 1.0, 10.0));
+}
+BENCHMARK(BM_AnalyzeBuck);
+
+void BM_ScCycleModel_PerSample(benchmark::State& state) {
+  core::ScDesign d;
+  d.n = 3;
+  d.m = 1;
+  d.cap_kind = tech::CapKind::DeepTrench;
+  d.c_fly_f = 4e-6;
+  d.c_out_f = 1e-6;
+  d.g_tot_s = 15000.0;
+  d.f_sw_hz = 80e6;
+  d.n_interleave = 8;
+  const std::vector<double> load(10000, 10.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::sc_cycle_response(d, 3.3, 1.0, load, 2e-9));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_ScCycleModel_PerSample);
+
+void BM_SpiceTransient_RlcSteps(benchmark::State& state) {
+  for (auto _ : state) {
+    spice::Circuit c;
+    const spice::NodeId in = c.node("in");
+    const spice::NodeId a = c.node("a");
+    const spice::NodeId out = c.node("out");
+    c.add_vsource("v", in, spice::kGround, spice::Waveform::sine(0.0, 1.0, 1e6));
+    c.add_resistor("r", in, a, 5.0);
+    c.add_inductor("l", a, out, 1e-6);
+    c.add_capacitor("cc", out, spice::kGround, 1e-9);
+    spice::TranSpec spec;
+    spec.tstop = 10e-6;
+    spec.dt = 1e-9;
+    spec.record_nodes = {out};
+    benchmark::DoNotOptimize(spice::transient(c, spec));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SpiceTransient_RlcSteps);
+
+void BM_Fft64k(benchmark::State& state) {
+  std::vector<double> sig(65536);
+  for (std::size_t i = 0; i < sig.size(); ++i) sig[i] = std::sin(0.01 * static_cast<double>(i));
+  for (auto _ : state) benchmark::DoNotOptimize(amplitude_spectrum(sig, 1e9));
+}
+BENCHMARK(BM_Fft64k);
+
+void BM_PdnImpedanceSweep(benchmark::State& state) {
+  const pdn::PdnParams p = pdn::PdnParams::gpuvolt_default();
+  for (auto _ : state) benchmark::DoNotOptimize(pdn::find_impedance_peak(p, 1e3, 1e10, 200));
+}
+BENCHMARK(BM_PdnImpedanceSweep);
+
+void BM_OptimizeScTopology(benchmark::State& state) {
+  const core::SystemParams sys;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::optimize_topology(sys, core::IvrTopology::SwitchedCapacitor, 1));
+}
+BENCHMARK(BM_OptimizeScTopology);
+
+}  // namespace
+
+BENCHMARK_MAIN();

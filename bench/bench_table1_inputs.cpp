@@ -1,0 +1,48 @@
+// Reproduces Table 1: the Ivory input parameters of the GPU case study,
+// echoed together with the derived technology values the run will use.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/ivory.hpp"
+#include "support/case_study.hpp"
+
+using namespace ivory;
+
+int main() {
+  std::printf("=== Table 1: summary of Ivory input parameters (GPU case study) ===\n\n");
+  const bench::CaseStudy cs;
+  const core::SystemParams& sys = cs.sys;
+
+  TextTable table({"parameter", "value"});
+  table.add_row({"Max. area", TextTable::num(sys.area_max_m2 * 1e6, 3) + " mm^2"});
+  table.add_row({"Total average power", TextTable::num(sys.p_load_w, 3) + " W"});
+  table.add_row({"Input / output voltage",
+                 TextTable::num(sys.vin_v, 3) + " V / " + TextTable::num(sys.vout_v, 3) + " V"});
+  table.add_row({"Max number of distributed IVRs", std::to_string(sys.max_distributed)});
+  table.add_row({"Nominal core voltage", TextTable::num(cs.v_core_nom, 3) + " V"});
+  table.add_row({"SMs (Fermi-class)", std::to_string(cs.n_sm) + " x " +
+                                          TextTable::num(cs.sm_avg_w, 2) + " W"});
+  table.add_row({"Static ripple budget", TextTable::si(sys.ripple_max_v, "V")});
+
+  const tech::SwitchTech& sw = tech::switch_tech(sys.node, tech::DeviceClass::Core);
+  const tech::CapacitorTech cap = tech::capacitor_tech(sys.node, sys.cap_kind);
+  const tech::InductorTech& ind = tech::inductor_tech(sys.inductor);
+  table.add_row({"Technology node", tech::node_name(sys.node)});
+  table.add_row({"R_sw (ohm*um^2)",
+                 TextTable::num(sw.ron_w_ohm_m * sw.area_per_w_m * 1e12, 3)});
+  table.add_row({"L density (nH/mm^2)", TextTable::num(ind.density_h_m2 * 1e3, 3)});
+  table.add_row({"C density (nF/mm^2), " + std::string(tech::cap_kind_name(sys.cap_kind)),
+                 TextTable::num(cap.density_f_m2 * 1e3, 3)});
+
+  const pdn::PdnParams& p = cs.pdn;
+  table.add_row({"Off-chip PDN R (board+pkg+C4)",
+                 TextTable::si(p.board.r_ohm + p.package.r_ohm + p.c4.r_ohm, "ohm")});
+  table.add_row({"Off-chip PDN L",
+                 TextTable::si(p.board.l_h + p.package.l_h + p.c4.l_h, "H")});
+  table.add_row({"On-chip grid R / L",
+                 TextTable::si(p.grid_r_ohm, "ohm") + " / " + TextTable::si(p.grid_l_h, "H")});
+  table.add_row({"On-die decap", TextTable::si(p.ondie_decap_f, "F")});
+
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "support/case_study.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+
+namespace ivory::bench {
+
+const char* vr_config_name(VrConfig c) {
+  switch (c) {
+    case VrConfig::OffChipVrm: return "Off VRM";
+    case VrConfig::CentralizedIvr: return "1 Cen IVR";
+    case VrConfig::TwoDistributedIvrs: return "2 Dis IVRs";
+    case VrConfig::FourDistributedIvrs: return "4 Dis IVRs";
+  }
+  return "?";
+}
+
+int vr_config_domains(VrConfig c) {
+  switch (c) {
+    case VrConfig::OffChipVrm: return 0;
+    case VrConfig::CentralizedIvr: return 1;
+    case VrConfig::TwoDistributedIvrs: return 2;
+    case VrConfig::FourDistributedIvrs: return 4;
+  }
+  return 0;
+}
+
+CaseStudy::CaseStudy() : pdn(pdn::PdnParams::gpuvolt_default()) {
+  // SystemParams defaults already match paper Table 1 (3.3 V in, 1.0 V out,
+  // 20 W, 20 mm^2, up to 4 distributed IVRs).
+}
+
+std::vector<std::vector<double>> sm_current_traces(const CaseStudy& cs,
+                                                   workload::Benchmark bench, double v_core,
+                                                   std::uint64_t seed) {
+  const std::vector<workload::PowerTrace> traces = workload::generate_gpu_traces(
+      bench, cs.n_sm, cs.sm_avg_w, cs.trace_duration_s, cs.trace_dt_s, seed);
+  const workload::DigitalLoadModel load =
+      workload::DigitalLoadModel::from_average_power(cs.sm_avg_w, cs.sys.vout_v, 1e9, 0.2);
+  std::vector<std::vector<double>> out;
+  out.reserve(traces.size());
+  for (const workload::PowerTrace& t : traces)
+    out.push_back(workload::power_to_current(t, load, v_core));
+  return out;
+}
+
+namespace {
+
+std::vector<double> sum_traces(const std::vector<std::vector<double>>& traces, int first,
+                               int count) {
+  std::vector<double> out(traces[static_cast<std::size_t>(first)].size(), 0.0);
+  for (int k = first; k < first + count; ++k)
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] += traces[static_cast<std::size_t>(k)][i];
+  return out;
+}
+
+double settled_peak_to_peak(const std::vector<double>& v) {
+  // Skip the first 15% (regulator start-up / PDN settling).
+  const std::size_t skip = v.size() * 3 / 20;
+  const std::vector<double> tail(v.begin() + static_cast<long>(skip), v.end());
+  return ivory::peak_to_peak(tail);
+}
+
+}  // namespace
+
+std::vector<double> supply_waveform(const CaseStudy& cs, VrConfig config,
+                                    const core::DseResult& ivr,
+                                    const std::vector<std::vector<double>>& sm_currents) {
+  require(static_cast<int>(sm_currents.size()) == cs.n_sm,
+          "supply_waveform: need one current trace per SM");
+
+  if (config == VrConfig::OffChipVrm) {
+    const std::vector<double> i_total = sum_traces(sm_currents, 0, cs.n_sm);
+    return pdn::simulate_die_voltage(cs.pdn, cs.sys.vout_v, i_total, cs.trace_dt_s);
+  }
+
+  const int n_dom = vr_config_domains(config);
+  require(ivr.feasible, "supply_waveform: IVR design must be feasible");
+  require(ivr.n_distributed == n_dom, "supply_waveform: IVR design/distribution mismatch");
+  const int sm_per_dom = cs.n_sm / n_dom;
+
+  std::vector<double> worst;
+  double worst_pp = -1.0;
+  for (int d = 0; d < n_dom; ++d) {
+    const std::vector<double> i_dom = sum_traces(sm_currents, d * sm_per_dom, sm_per_dom);
+    core::DynWaveform wave =
+        core::sc_combined_response(ivr.sc, cs.sys.vin_v, cs.sys.vout_v, i_dom, cs.trace_dt_s);
+    // Grid path between the domain's IVR and its cores: a centralized IVR
+    // spans the full die, a distributed one only its own domain — the path
+    // impedance shrinks with the span (1/n), which is the physical lever
+    // behind Fig. 11's distributed-noise reduction.
+    const std::vector<double> grid =
+        core::grid_noise(i_dom, cs.trace_dt_s, cs.pdn.grid_r_ohm / n_dom,
+                         cs.pdn.grid_l_h / std::sqrt(static_cast<double>(n_dom)));
+    for (std::size_t k = 0; k < wave.v.size(); ++k) wave.v[k] += grid[k];
+    const double pp = settled_peak_to_peak(wave.v);
+    if (pp > worst_pp) {
+      worst_pp = pp;
+      worst = std::move(wave.v);
+    }
+  }
+  return worst;
+}
+
+double supply_noise_pp(const CaseStudy& cs, VrConfig config, const core::DseResult& ivr,
+                       workload::Benchmark bench, std::uint64_t seed) {
+  const auto currents = sm_current_traces(cs, bench, cs.sys.vout_v, seed);
+  return settled_peak_to_peak(supply_waveform(cs, config, ivr, currents));
+}
+
+double guardband_for(const CaseStudy& cs, VrConfig config, const core::DseResult& ivr) {
+  double worst = 0.0;
+  for (workload::Benchmark bench : workload::kAllBenchmarks)
+    worst = std::max(worst, supply_noise_pp(cs, config, ivr, bench));
+  return worst;
+}
+
+}  // namespace ivory::bench

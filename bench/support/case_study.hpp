@@ -1,0 +1,62 @@
+// Shared machinery for the GPU-case-study benches (Section 5 of the paper:
+// Table 2, Figs. 10, 11, 12, 13).
+//
+// Wires the pieces together exactly as the paper's flow does: synthetic
+// per-SM power traces (GPGPU-Sim/GPUWattch substitute) -> load currents ->
+// per-VR-configuration supply-voltage waveforms -> noise statistics ->
+// guardbands -> end-to-end PDS efficiency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ivory.hpp"
+
+namespace ivory::bench {
+
+/// The four VR configurations Figs. 10/11 sweep.
+enum class VrConfig { OffChipVrm, CentralizedIvr, TwoDistributedIvrs, FourDistributedIvrs };
+
+constexpr VrConfig kAllVrConfigs[] = {VrConfig::OffChipVrm, VrConfig::CentralizedIvr,
+                                      VrConfig::TwoDistributedIvrs,
+                                      VrConfig::FourDistributedIvrs};
+
+const char* vr_config_name(VrConfig c);
+int vr_config_domains(VrConfig c);  ///< 0 for the off-chip VRM.
+
+/// Fixed system setup of the case study (paper Table 1): four Fermi-class
+/// SMs at 5 W average each, 3.3 V board rail, 0.85 V nominal core voltage.
+struct CaseStudy {
+  core::SystemParams sys;            // vin 3.3, vout 1.0, 20 W, 20 mm^2.
+  pdn::PdnParams pdn;
+  int n_sm = 4;
+  double sm_avg_w = 5.0;
+  double v_core_nom = 0.85;
+  double trace_duration_s = 60e-6;
+  double trace_dt_s = 2e-9;
+
+  CaseStudy();
+};
+
+/// Per-SM load-current traces for one benchmark at the given core voltage.
+std::vector<std::vector<double>> sm_current_traces(const CaseStudy& cs,
+                                                   workload::Benchmark bench, double v_core,
+                                                   std::uint64_t seed = 1);
+
+/// Supply-voltage waveform at the cores for one VR configuration. For IVR
+/// configurations `ivr` must be the optimizer result for the matching
+/// distribution count; it is ignored for the off-chip VRM. Returns the
+/// worst (largest peak-to-peak) domain's waveform.
+std::vector<double> supply_waveform(const CaseStudy& cs, VrConfig config,
+                                    const core::DseResult& ivr,
+                                    const std::vector<std::vector<double>>& sm_currents);
+
+/// Peak-to-peak noise of the supply waveform for (benchmark, config).
+double supply_noise_pp(const CaseStudy& cs, VrConfig config, const core::DseResult& ivr,
+                       workload::Benchmark bench, std::uint64_t seed = 1);
+
+/// Worst-case noise across all benchmarks (the guardband the configuration
+/// needs).
+double guardband_for(const CaseStudy& cs, VrConfig config, const core::DseResult& ivr);
+
+}  // namespace ivory::bench

@@ -1,0 +1,33 @@
+// Reference curves for the validation benches (Figs. 7 and 8).
+//
+// The paper validates Ivory against silicon measurements (a 32 nm SOI
+// reconfigurable SC converter [Tong, CICC'13]; a 45 nm SOI 2.5D buck with
+// interposer inductors [Sturcken, JSSC'13]) and against Cadence simulations
+// of 10 nm-class designs. Those data sets are not redistributable, so the
+// curves below are regenerated from the published model forms and peak
+// numbers (peak efficiency, peak location, linear SSL slope below the peak,
+// cliff above it). They exercise the identical validation code path; see
+// DESIGN.md, substitutions table.
+#pragma once
+
+#include <vector>
+
+namespace ivory::bench {
+
+struct CurvePoint {
+  double x;  ///< Vout [V] (Fig. 7) or Vout [V] at fixed current (Fig. 8).
+  double y;  ///< Measured conversion efficiency, 0..1.
+};
+
+/// 32 nm SOI reconfigurable SC, 3:2 configuration from a 1.8 V rail:
+/// peak ~0.79 near 1.1 V output, linear below, cliff above.
+std::vector<CurvePoint> measured_sc_32nm_3to2();
+
+/// Same part, 2:1 configuration: peak ~0.77 near 0.82 V.
+std::vector<CurvePoint> measured_sc_32nm_2to1();
+
+/// 45 nm SOI 2.5D buck converter, efficiency vs output voltage at fixed
+/// load currents of 1, 3 and 4 A (Vin = 1.8 V).
+std::vector<CurvePoint> measured_buck_45nm(double i_load_a);
+
+}  // namespace ivory::bench

@@ -1,0 +1,74 @@
+// Fast per-core DVFS with an IVR: the motivating scenario of the paper's
+// introduction. Steps the voltage/frequency setpoint mid-run and watches the
+// IVR's dynamic response, including the load-current feedback (lower V and f
+// draw less current — the model handles this natively via the digital load
+// model).
+//
+//   ./dvfs_transient
+#include <cstdio>
+
+#include "common/statistics.hpp"
+#include "core/ivory.hpp"
+
+using namespace ivory;
+
+int main() {
+  std::printf("=== Fast DVFS through an integrated voltage regulator ===\n\n");
+
+  // A per-core SC IVR (one quarter of the case-study budget).
+  core::SystemParams sys;
+  const core::DseResult ivr =
+      core::optimize_topology(sys, core::IvrTopology::SwitchedCapacitor, 4);
+  if (!ivr.feasible) {
+    std::printf("no feasible IVR design\n");
+    return 1;
+  }
+  std::printf("IVR: %s, %d-way interleaved, f_sw %.0f MHz\n\n", ivr.label.c_str(),
+              ivr.n_interleave, ivr.f_sw_hz / 1e6);
+
+  // DVFS schedule: 1.0 V / 1.0 GHz -> 0.85 V / 0.7 GHz at 20 us -> back at 40 us.
+  const workload::DvfsSchedule schedule({{0.0, 1.00, 1.0e9},
+                                         {20e-6, 0.85, 0.7e9},
+                                         {40e-6, 1.00, 1.0e9}});
+  const workload::DigitalLoadModel load =
+      workload::DigitalLoadModel::from_average_power(5.0, 1.0, 1e9, 0.2);
+
+  // Build the load-current trace from a workload activity trace + schedule.
+  const double dt = 2e-9;
+  const double duration = 60e-6;
+  const auto activity_trace =
+      workload::generate_gpu_traces(workload::Benchmark::KMN, 1, 5.0, duration, dt)[0];
+  std::vector<double> i_load(activity_trace.watts.size());
+  std::vector<double> vref(activity_trace.watts.size());
+  for (std::size_t k = 0; k < i_load.size(); ++k) {
+    const double t = static_cast<double>(k) * dt;
+    const workload::DvfsPoint& p = schedule.at(t);
+    const double act = activity_trace.watts[k] / 5.0;  // Normalized activity.
+    i_load[k] = load.current(p.v_v, p.f_hz, act);
+    vref[k] = p.v_v;
+  }
+
+  // The cycle model regulates toward a fixed vref; run the three DVFS
+  // segments back to back, carrying the load trace through.
+  std::printf("%-12s %-10s %-10s %-12s %-10s\n", "segment", "target V", "mean V", "noise p-p",
+              "mean I");
+  const double seg_bounds[4] = {0.0, 20e-6, 40e-6, duration};
+  for (int seg = 0; seg < 3; ++seg) {
+    const std::size_t k0 = static_cast<std::size_t>(seg_bounds[seg] / dt);
+    const std::size_t k1 = static_cast<std::size_t>(seg_bounds[seg + 1] / dt);
+    const std::vector<double> i_seg(i_load.begin() + static_cast<long>(k0),
+                                    i_load.begin() + static_cast<long>(k1));
+    const double v_target = vref[k0];
+    const core::DynWaveform w =
+        core::sc_combined_response(ivr.sc, sys.vin_v, v_target, i_seg, dt);
+    const std::vector<double> tail(w.v.begin() + static_cast<long>(w.v.size() / 5), w.v.end());
+    std::printf("%-12d %-10.3f %-10.4f %-12.2f %-10.2f\n", seg, v_target, mean(tail),
+                peak_to_peak(tail) * 1e3, mean(i_seg));
+  }
+
+  std::printf("\nVoltage transition speed: the IVR re-regulates within its feedback\n"
+              "granularity (one interleave sub-cycle, %.1f ns) — the nanosecond-scale\n"
+              "DVFS that off-chip VRMs (microseconds) cannot deliver.\n",
+              1e9 / (ivr.f_sw_hz * ivr.n_interleave));
+  return 0;
+}

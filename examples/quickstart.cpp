@@ -1,0 +1,59 @@
+// Quickstart: model one IVR in a few lines.
+//
+// Evaluates a 2:1 switched-capacitor IVR in 32 nm, prints its efficiency,
+// ripple, loss breakdown, and area — the "hello world" of Ivory.
+//
+//   ./quickstart [vin] [iload]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/ivory.hpp"
+
+using namespace ivory;
+
+int main(int argc, char** argv) {
+  const double vin = argc > 1 ? std::atof(argv[1]) : 1.8;
+  const double i_load = argc > 2 ? std::atof(argv[2]) : 2.0;
+
+  // Describe the design: technology, topology, sizing.
+  core::ScDesign d;
+  d.node = tech::Node::n32;
+  d.cap_kind = tech::CapKind::DeepTrench;
+  d.n = 2;                 // 2:1 step-down.
+  d.m = 1;
+  d.c_fly_f = 400e-9;      // 400 nF of flying capacitance...
+  d.c_out_f = 100e-9;      // ...plus 100 nF of output decap.
+  d.g_tot_s = 2000.0;      // 2000 S of total switch conductance.
+  d.f_sw_hz = 100e6;       // 100 MHz switching.
+  d.n_interleave = 8;      // 8 interleaved slices.
+
+  std::printf("Ivory quickstart: %d:%d SC IVR at %s, vin=%.2f V, load=%.2f A\n\n", d.n, d.m,
+              tech::node_name(d.node), vin, i_load);
+
+  // One call: full static analysis.
+  const core::ScAnalysis a = core::analyze_sc(d, vin, i_load);
+
+  std::printf("ideal output       %.3f V\n", a.vout_ideal_v);
+  std::printf("actual output      %.3f V  (R_out = %.2f mOhm: SSL %.2f / FSL %.2f)\n",
+              a.vout_v, a.rout_ohm * 1e3, a.rssl_ohm * 1e3, a.rfsl_ohm * 1e3);
+  std::printf("efficiency         %.1f %%\n", a.efficiency * 100.0);
+  std::printf("output ripple      %.2f mV peak-to-peak\n", a.ripple_pp_v * 1e3);
+  std::printf("\nloss breakdown:\n");
+  std::printf("  conduction       %.3f W\n", a.p_conduction_w);
+  std::printf("  gate drive       %.3f W\n", a.p_gate_w);
+  std::printf("  bottom plate     %.3f W\n", a.p_bottom_plate_w);
+  std::printf("  leakage          %.3f W\n", a.p_leakage_w);
+  std::printf("  peripherals      %.3f W\n", a.p_peripheral_w);
+  std::printf("\narea: %.3f mm^2 (caps %.3f, switches %.3f, peripherals %.3f)\n",
+              a.area_m2 * 1e6, a.area_caps_m2 * 1e6, a.area_switches_m2 * 1e6,
+              a.area_peripheral_m2 * 1e6);
+
+  // Regulated operation: what does holding 0.8 V cost?
+  const core::ScRegulated reg = core::analyze_sc_regulated(d, vin, 0.8, i_load);
+  if (reg.feasible)
+    std::printf("\nregulated to 0.80 V: efficiency %.1f %% at f_sw = %.1f MHz\n",
+                reg.analysis.efficiency * 100.0, reg.f_sw_used_hz / 1e6);
+  else
+    std::printf("\nregulation to 0.80 V is infeasible for this design\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Error handling for Ivory.
+//
+// Per the C++ Core Guidelines (E.2) we throw exceptions to signal that a
+// function cannot perform its task. Every throwing site in Ivory uses one of
+// the domain exception types below so callers can distinguish bad user input
+// from numerical failure.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ivory {
+
+/// Invalid user-supplied parameters (negative capacitance, Vout > Vin for a
+/// step-down converter, empty trace, ...).
+class InvalidParameter : public std::invalid_argument {
+ public:
+  explicit InvalidParameter(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// A numerical routine failed to produce a usable answer (singular matrix,
+/// non-convergent transient, ...).
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A netlist or model is structurally malformed (dangling node, unknown
+/// element, phase graph without a path to the output, ...).
+class StructuralError : public std::runtime_error {
+ public:
+  explicit StructuralError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws InvalidParameter with `msg` when `cond` is false.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidParameter(msg);
+}
+
+}  // namespace ivory

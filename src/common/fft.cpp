@@ -1,0 +1,93 @@
+#include "common/fft.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ivory {
+
+namespace {
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+void fft_radix2(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  require(is_power_of_two(n), "fft_radix2: size must be a power of two");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> fft_real(const std::vector<double>& signal) {
+  require(!signal.empty(), "fft_real: empty signal");
+  const std::size_t n = next_power_of_two(signal.size());
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < signal.size(); ++i) data[i] = signal[i];
+  fft_radix2(data);
+  return data;
+}
+
+std::vector<SpectrumPoint> amplitude_spectrum(const std::vector<double>& signal, double fs) {
+  require(fs > 0.0, "amplitude_spectrum: sample rate must be positive");
+  const std::vector<std::complex<double>> spec = fft_real(signal);
+  const std::size_t n = spec.size();
+  // Scale by the *original* signal length: zero padding does not add energy.
+  const double scale = 2.0 / static_cast<double>(signal.size());
+  std::vector<SpectrumPoint> out;
+  out.reserve(n / 2 + 1);
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const double amp = std::abs(spec[k]) * (k == 0 || k == n / 2 ? 0.5 * scale : scale);
+    out.push_back({fs * static_cast<double>(k) / static_cast<double>(n), amp});
+  }
+  return out;
+}
+
+double spectrum_amplitude_at(const std::vector<SpectrumPoint>& spectrum, double f0) {
+  require(!spectrum.empty(), "spectrum_amplitude_at: empty spectrum");
+  // Bins are uniformly spaced; search the neighbourhood of the nearest bin for
+  // the local peak to be robust to small leakage.
+  std::size_t best = 0;
+  double bestdist = std::fabs(spectrum[0].frequency_hz - f0);
+  for (std::size_t i = 1; i < spectrum.size(); ++i) {
+    const double d = std::fabs(spectrum[i].frequency_hz - f0);
+    if (d < bestdist) {
+      bestdist = d;
+      best = i;
+    }
+  }
+  double amp = spectrum[best].amplitude;
+  const std::size_t lo = best >= 2 ? best - 2 : 0;
+  const std::size_t hi = best + 2 < spectrum.size() ? best + 2 : spectrum.size() - 1;
+  for (std::size_t i = lo; i <= hi; ++i) amp = std::max(amp, spectrum[i].amplitude);
+  return amp;
+}
+
+}  // namespace ivory

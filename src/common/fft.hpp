@@ -1,0 +1,36 @@
+// Radix-2 FFT for spectrum analysis.
+//
+// Used to reproduce Fig. 6 of the paper (regulation effect of an SC converter
+// vs. a bare decoupling capacitor, compared in the frequency domain) and by
+// tests that check the noise transfer functions of the dynamic models.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace ivory {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a power
+/// of two. `inverse` computes the unscaled inverse transform (caller divides
+/// by N).
+void fft_radix2(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+/// Returns the full complex spectrum (length = padded size).
+std::vector<std::complex<double>> fft_real(const std::vector<double>& signal);
+
+/// Single-sided amplitude spectrum of a real signal sampled at `fs` Hz.
+/// Returns (frequency, amplitude) pairs for bins 0 .. N/2. Amplitudes are
+/// scaled so that a pure tone of amplitude A shows A at its bin.
+struct SpectrumPoint {
+  double frequency_hz;
+  double amplitude;
+};
+std::vector<SpectrumPoint> amplitude_spectrum(const std::vector<double>& signal, double fs);
+
+/// Amplitude of the spectrum bin closest to `f0` (helper for tone tracking in
+/// tests and the Fig. 6 bench).
+double spectrum_amplitude_at(const std::vector<SpectrumPoint>& spectrum, double f0);
+
+}  // namespace ivory

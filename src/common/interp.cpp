@@ -1,0 +1,57 @@
+#include "common/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ivory {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  require(xs_.size() == ys_.size(), "PiecewiseLinear: xs and ys must match in length");
+  require(!xs_.empty(), "PiecewiseLinear: need at least one breakpoint");
+  for (std::size_t i = 1; i < xs_.size(); ++i)
+    require(xs_[i] > xs_[i - 1], "PiecewiseLinear: xs must be strictly increasing");
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  require(!xs_.empty(), "PiecewiseLinear: evaluating empty function");
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+  return ys_[lo] * (1.0 - t) + ys_[hi] * t;
+}
+
+double PiecewiseLinear::integral(double a, double b) const {
+  require(!xs_.empty(), "PiecewiseLinear: integrating empty function");
+  if (a > b) return -integral(b, a);
+  // Collect all breakpoints inside [a, b] plus the endpoints, then trapezoid.
+  std::vector<double> knots;
+  knots.push_back(a);
+  for (double x : xs_)
+    if (x > a && x < b) knots.push_back(x);
+  knots.push_back(b);
+  double acc = 0.0;
+  for (std::size_t i = 1; i < knots.size(); ++i) {
+    const double x0 = knots[i - 1], x1 = knots[i];
+    acc += 0.5 * ((*this)(x0) + (*this)(x1)) * (x1 - x0);
+  }
+  return acc;
+}
+
+std::vector<double> sample_uniform(const PiecewiseLinear& f, double a, double b, int n) {
+  require(n >= 2, "sample_uniform: need at least two samples");
+  require(b > a, "sample_uniform: need b > a");
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double x = a + (b - a) * static_cast<double>(i) / static_cast<double>(n - 1);
+    out[static_cast<std::size_t>(i)] = f(x);
+  }
+  return out;
+}
+
+}  // namespace ivory

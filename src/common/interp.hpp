@@ -1,0 +1,37 @@
+// Piecewise-linear functions of one variable.
+//
+// Used for PWL sources in the circuit simulator, resampling workload power
+// traces onto converter switching grids, and representing digitized reference
+// curves in the validation benches.
+#pragma once
+
+#include <vector>
+
+namespace ivory {
+
+/// A piecewise-linear function defined by (x, y) breakpoints with strictly
+/// increasing x. Evaluation outside the breakpoint range clamps to the end
+/// values (the natural behaviour for both sources and traces).
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+  PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+  double operator()(double x) const;
+
+  /// Integral over [a, b] (exact for the PWL representation).
+  double integral(double a, double b) const;
+
+  bool empty() const { return xs_.empty(); }
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// Uniformly resamples f at n points on [a, b] (inclusive endpoints).
+std::vector<double> sample_uniform(const PiecewiseLinear& f, double a, double b, int n);
+
+}  // namespace ivory

@@ -1,0 +1,100 @@
+#include "common/matrix.hpp"
+
+#include <cmath>
+
+namespace ivory {
+
+std::vector<double> solve_least_squares(const Matrix<double>& a, const std::vector<double>& b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  require(b.size() == m, "solve_least_squares: dimension mismatch");
+  require(m >= n, "solve_least_squares: system must have rows >= cols");
+
+  // Householder QR applied in place to a working copy [R | Q^T b].
+  Matrix<double> r = a;
+  std::vector<double> y = b;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder reflector for column k.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) throw NumericalError("solve_least_squares: rank-deficient matrix");
+    if (r(k, k) > 0.0) norm = -norm;
+
+    std::vector<double> v(m - k);
+    v[0] = r(k, k) - norm;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    double vtv = 0.0;
+    for (double vi : v) vtv += vi * vi;
+    if (vtv < 1e-300) continue;  // Column already triangular.
+
+    // Apply H = I - 2 v v^T / (v^T v) to the remaining columns and to y.
+    for (std::size_t c = k; c < n; ++c) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * r(i, c);
+      const double s = 2.0 * dot / vtv;
+      for (std::size_t i = k; i < m; ++i) r(i, c) -= s * v[i - k];
+    }
+    double dot = 0.0;
+    for (std::size_t i = k; i < m; ++i) dot += v[i - k] * y[i];
+    const double s = 2.0 * dot / vtv;
+    for (std::size_t i = k; i < m; ++i) y[i] -= s * v[i - k];
+  }
+
+  // Back substitution on the upper-triangular R.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= r(ii, j) * x[j];
+    if (std::fabs(r(ii, ii)) < 1e-300)
+      throw NumericalError("solve_least_squares: rank-deficient matrix");
+    x[ii] = acc / r(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_min_norm(const Matrix<double>& a, const std::vector<double>& b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  require(b.size() == m, "solve_min_norm: dimension mismatch");
+
+  // Normal equations with a tiny ridge: (A^T A + lambda I) x = A^T b.
+  Matrix<double> ata = a.transposed().mul(a);
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i) max_diag = std::max(max_diag, ata(i, i));
+  if (max_diag <= 0.0) throw NumericalError("solve_min_norm: zero matrix");
+  const double lambda = 1e-10 * max_diag;
+  for (std::size_t i = 0; i < n; ++i) ata(i, i) += lambda;
+  const LuFactorization<double> lu(std::move(ata));
+
+  auto atv = [&](const std::vector<double>& v) {
+    std::vector<double> out(n, 0.0);
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t c = 0; c < n; ++c) out[c] += a(r, c) * v[r];
+    return out;
+  };
+
+  std::vector<double> x = lu.solve(atv(b));
+  // Two refinement steps push the ridge bias well below solver tolerance.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<double> r = a.mul(x);
+    for (std::size_t i = 0; i < m; ++i) r[i] = b[i] - r[i];
+    const std::vector<double> dx = lu.solve(atv(r));
+    for (std::size_t i = 0; i < n; ++i) x[i] += dx[i];
+  }
+  return x;
+}
+
+double residual_norm(const Matrix<double>& a, const std::vector<double>& x,
+                     const std::vector<double>& b) {
+  const std::vector<double> ax = a.mul(x);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    const double d = ax[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace ivory

@@ -1,0 +1,165 @@
+// Dense matrix with LU factorization and least-squares solves.
+//
+// Ivory's linear-algebra needs are modest: MNA systems of a few hundred
+// unknowns (real for DC/transient, complex for AC) and small least-squares
+// systems for the charge-multiplier solver and polynomial fitting. A dense
+// matrix with partial-pivoted LU and Householder QR covers all of them with
+// no external dependencies.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ivory {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const T& operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Matrix-vector product.
+  std::vector<T> mul(const std::vector<T>& x) const {
+    require(x.size() == cols_, "Matrix::mul: dimension mismatch");
+    std::vector<T> y(rows_, T{});
+    for (std::size_t r = 0; r < rows_; ++r) {
+      T acc{};
+      for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * x[c];
+      y[r] = acc;
+    }
+    return y;
+  }
+
+  Matrix mul(const Matrix& b) const {
+    require(b.rows() == cols_, "Matrix::mul: dimension mismatch");
+    Matrix y(rows_, b.cols());
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const T a = (*this)(r, k);
+        if (a == T{}) continue;
+        for (std::size_t c = 0; c < b.cols(); ++c) y(r, c) += a * b(k, c);
+      }
+    return y;
+  }
+
+  Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+namespace detail {
+inline double abs_val(double x) { return std::fabs(x); }
+inline double abs_val(const std::complex<double>& x) { return std::abs(x); }
+}  // namespace detail
+
+/// LU factorization with partial pivoting. Factorizes once; solves many
+/// right-hand sides (the transient integrator reuses the factorization for
+/// every accepted step with an unchanged conductance matrix).
+template <typename T>
+class LuFactorization {
+ public:
+  explicit LuFactorization(Matrix<T> a) : lu_(std::move(a)), piv_(lu_.rows()) {
+    require(lu_.rows() == lu_.cols(), "LuFactorization: matrix must be square");
+    const std::size_t n = lu_.rows();
+    for (std::size_t i = 0; i < n; ++i) piv_[i] = i;
+    for (std::size_t k = 0; k < n; ++k) {
+      // Pivot selection.
+      std::size_t p = k;
+      double best = detail::abs_val(lu_(k, k));
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const double v = detail::abs_val(lu_(i, k));
+        if (v > best) {
+          best = v;
+          p = i;
+        }
+      }
+      if (best < 1e-300) throw NumericalError("LuFactorization: singular matrix");
+      if (p != k) {
+        for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(p, c));
+        std::swap(piv_[k], piv_[p]);
+      }
+      const T pivot = lu_(k, k);
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const T m = lu_(i, k) / pivot;
+        lu_(i, k) = m;
+        if (m == T{}) continue;
+        for (std::size_t c = k + 1; c < n; ++c) lu_(i, c) -= m * lu_(k, c);
+      }
+    }
+  }
+
+  std::vector<T> solve(const std::vector<T>& b) const {
+    const std::size_t n = lu_.rows();
+    require(b.size() == n, "LuFactorization::solve: dimension mismatch");
+    std::vector<T> x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = b[piv_[i]];
+    // Forward substitution (unit lower triangular).
+    for (std::size_t i = 1; i < n; ++i) {
+      T acc = x[i];
+      for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+      x[i] = acc;
+    }
+    // Back substitution.
+    for (std::size_t ii = n; ii-- > 0;) {
+      T acc = x[ii];
+      for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+      x[ii] = acc / lu_(ii, ii);
+    }
+    return x;
+  }
+
+ private:
+  Matrix<T> lu_;
+  std::vector<std::size_t> piv_;
+};
+
+/// Solves the square system a*x = b via LU.
+template <typename T>
+std::vector<T> solve_linear(Matrix<T> a, const std::vector<T>& b) {
+  return LuFactorization<T>(std::move(a)).solve(b);
+}
+
+/// Minimum-residual solution of the (possibly overdetermined) system a*x = b
+/// via Householder QR. For rank-deficient systems the caller gets a
+/// NumericalError; Ivory's charge-flow systems are full rank for well-posed
+/// switched-capacitor topologies.
+std::vector<double> solve_least_squares(const Matrix<double>& a, const std::vector<double>& b);
+
+/// Residual 2-norm ||a*x - b||.
+double residual_norm(const Matrix<double>& a, const std::vector<double>& x,
+                     const std::vector<double>& b);
+
+/// Minimum-norm least-squares solution of a*x = b, tolerant of rank
+/// deficiency (ridge-regularized normal equations with iterative
+/// refinement). Used by the charge-multiplier solver, where topologies with
+/// capacitors in parallel produce structurally rank-deficient charge-flow
+/// systems whose physical solution (equal split among equal capacitors) is
+/// exactly the minimum-norm one.
+std::vector<double> solve_min_norm(const Matrix<double>& a, const std::vector<double>& b);
+
+}  // namespace ivory

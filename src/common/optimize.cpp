@@ -1,0 +1,95 @@
+#include "common/optimize.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ivory {
+
+namespace {
+constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+}
+
+ScalarOptimum golden_minimize(const std::function<double(double)>& f, double lo, double hi,
+                              double tol, int max_iter) {
+  require(lo < hi, "golden_minimize: lo must be < hi");
+  double a = lo, b = hi;
+  double c = b - (b - a) * kInvPhi;
+  double d = a + (b - a) * kInvPhi;
+  double fc = f(c), fd = f(d);
+  for (int it = 0; it < max_iter && (b - a) > tol * (1.0 + std::fabs(a) + std::fabs(b)); ++it) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * kInvPhi;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * kInvPhi;
+      fd = f(d);
+    }
+  }
+  const double x = 0.5 * (a + b);
+  return {x, f(x)};
+}
+
+ScalarOptimum golden_maximize(const std::function<double(double)>& f, double lo, double hi,
+                              double tol, int max_iter) {
+  ScalarOptimum r = golden_minimize([&](double x) { return -f(x); }, lo, hi, tol, max_iter);
+  r.f = -r.f;
+  return r;
+}
+
+ScalarOptimum log_grid_minimize(const std::function<double(double)>& f, double lo, double hi,
+                                int n) {
+  require(lo > 0.0 && hi > lo, "log_grid_minimize: need 0 < lo < hi");
+  require(n >= 3, "log_grid_minimize: need n >= 3");
+  const double llo = std::log(lo), lhi = std::log(hi);
+  double best_x = lo, best_f = f(lo);
+  int best_i = 0;
+  for (int i = 1; i < n; ++i) {
+    const double x = std::exp(llo + (lhi - llo) * i / (n - 1));
+    const double fx = f(x);
+    if (fx < best_f) {
+      best_f = fx;
+      best_x = x;
+      best_i = i;
+    }
+  }
+  // Refine inside the bracketing grid cells.
+  const int i0 = best_i > 0 ? best_i - 1 : 0;
+  const int i1 = best_i < n - 1 ? best_i + 1 : n - 1;
+  const double rlo = std::exp(llo + (lhi - llo) * i0 / (n - 1));
+  const double rhi = std::exp(llo + (lhi - llo) * i1 / (n - 1));
+  if (rhi > rlo) {
+    ScalarOptimum refined = golden_minimize(f, rlo, rhi, 1e-6);
+    if (refined.f < best_f) return refined;
+  }
+  return {best_x, best_f};
+}
+
+double bisect_root(const std::function<double(double)>& f, double lo, double hi, double tol,
+                   int max_iter) {
+  double flo = f(lo), fhi = f(hi);
+  require(flo == 0.0 || fhi == 0.0 || (flo < 0.0) != (fhi < 0.0),
+          "bisect_root: endpoints must bracket a sign change");
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  for (int it = 0; it < max_iter && (hi - lo) > tol * (1.0 + std::fabs(lo) + std::fabs(hi)); ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (fm == 0.0) return mid;
+    if ((fm < 0.0) == (flo < 0.0)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ivory

@@ -1,0 +1,35 @@
+// Scalar optimization and root finding used by the design modules.
+#pragma once
+
+#include <functional>
+
+namespace ivory {
+
+/// Result of a 1-D optimization.
+struct ScalarOptimum {
+  double x = 0.0;  ///< Arg-optimum.
+  double f = 0.0;  ///< Objective value at x.
+};
+
+/// Minimizes f on [lo, hi] by golden-section search. f must be unimodal on
+/// the interval for a guaranteed global answer; Ivory's per-frequency loss
+/// curves are.
+ScalarOptimum golden_minimize(const std::function<double(double)>& f, double lo, double hi,
+                              double tol = 1e-9, int max_iter = 200);
+
+/// Maximizes f on [lo, hi] (golden section on -f).
+ScalarOptimum golden_maximize(const std::function<double(double)>& f, double lo, double hi,
+                              double tol = 1e-9, int max_iter = 200);
+
+/// Minimizes f over a log-spaced grid of `n` points on [lo, hi] followed by a
+/// golden-section refinement around the best grid cell. Robust when f is only
+/// piecewise smooth (e.g. efficiency with discrete feasibility cliffs).
+ScalarOptimum log_grid_minimize(const std::function<double(double)>& f, double lo, double hi,
+                                int n = 64);
+
+/// Root of f on [lo, hi] by bisection. f(lo) and f(hi) must have opposite
+/// signs.
+double bisect_root(const std::function<double(double)>& f, double lo, double hi,
+                   double tol = 1e-12, int max_iter = 200);
+
+}  // namespace ivory

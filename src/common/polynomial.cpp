@@ -1,0 +1,40 @@
+#include "common/polynomial.hpp"
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+
+namespace ivory {
+
+Polynomial::Polynomial(std::vector<double> coeffs) : coeffs_(std::move(coeffs)) {
+  require(!coeffs_.empty(), "Polynomial: coefficient vector must not be empty");
+}
+
+double Polynomial::operator()(double x) const {
+  double acc = 0.0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) acc = acc * x + coeffs_[i];
+  return acc;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (coeffs_.size() <= 1) return Polynomial({0.0});
+  std::vector<double> d(coeffs_.size() - 1);
+  for (std::size_t i = 1; i < coeffs_.size(); ++i) d[i - 1] = coeffs_[i] * static_cast<double>(i);
+  return Polynomial(std::move(d));
+}
+
+Polynomial polyfit(const std::vector<double>& x, const std::vector<double>& y,
+                   std::size_t degree) {
+  require(x.size() == y.size(), "polyfit: x and y must have the same length");
+  require(x.size() >= degree + 1, "polyfit: need at least degree+1 points");
+  Matrix<double> vand(x.size(), degree + 1);
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    double p = 1.0;
+    for (std::size_t c = 0; c <= degree; ++c) {
+      vand(r, c) = p;
+      p *= x[r];
+    }
+  }
+  return Polynomial(solve_least_squares(vand, y));
+}
+
+}  // namespace ivory

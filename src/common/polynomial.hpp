@@ -1,0 +1,38 @@
+// Polynomials: evaluation and least-squares fitting.
+//
+// Ivory uses polynomial fits for the frequency-dependent inductance
+// coefficient of integrated inductors (Section 3.2 of the paper) and for
+// smoothing measured reference curves in the validation benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ivory {
+
+/// Polynomial with coefficients in ascending-power order:
+/// p(x) = c[0] + c[1]*x + c[2]*x^2 + ...
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(std::vector<double> coeffs);
+
+  /// Evaluates by Horner's rule.
+  double operator()(double x) const;
+
+  /// Derivative polynomial.
+  Polynomial derivative() const;
+
+  std::size_t degree() const { return coeffs_.empty() ? 0 : coeffs_.size() - 1; }
+  const std::vector<double>& coeffs() const { return coeffs_; }
+
+ private:
+  std::vector<double> coeffs_{0.0};
+};
+
+/// Least-squares fit of a degree-`degree` polynomial to the points (x, y).
+/// Requires x.size() == y.size() and at least degree+1 points.
+Polynomial polyfit(const std::vector<double>& x, const std::vector<double>& y,
+                   std::size_t degree);
+
+}  // namespace ivory

@@ -1,0 +1,17 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace ivory {
+
+double Pcg32::normal() {
+  // Box-Muller; reject u1 == 0 to avoid log(0).
+  double u1 = uniform();
+  while (u1 <= 1e-12) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * pi * u2);
+}
+
+}  // namespace ivory

@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation.
+//
+// Workload traces must be reproducible across runs and platforms, so Ivory
+// carries its own small PCG-style generator instead of relying on
+// implementation-defined std::default_random_engine behaviour.
+#pragma once
+
+#include <cstdint>
+
+namespace ivory {
+
+/// PCG32 (O'Neill): small, fast, statistically solid, fully deterministic.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  std::uint32_t next_u32() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const std::uint32_t xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u32()) * (1.0 / 4294967296.0); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box-Muller (one value per call; the pair's second
+  /// member is discarded to keep the generator stateless beyond `state_`).
+  double normal();
+
+  /// Bernoulli trial with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+}  // namespace ivory

@@ -1,0 +1,90 @@
+#include "common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ivory {
+
+double mean(const std::vector<double>& xs) {
+  require(!xs.empty(), "mean: empty sample");
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  require(!xs.empty(), "variance: empty sample");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double min_value(const std::vector<double>& xs) {
+  require(!xs.empty(), "min_value: empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(const std::vector<double>& xs) {
+  require(!xs.empty(), "max_value: empty sample");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::vector<double> xs, double q) {
+  require(!xs.empty(), "quantile: empty sample");
+  require(q >= 0.0 && q <= 1.0, "quantile: q must be in [0, 1]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+BoxStats box_stats(const std::vector<double>& xs) {
+  require(!xs.empty(), "box_stats: empty sample");
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  BoxStats b{};
+  b.n = sorted.size();
+  b.minimum = sorted.front();
+  b.maximum = sorted.back();
+  b.q1 = quantile(sorted, 0.25);
+  b.median = quantile(sorted, 0.5);
+  b.q3 = quantile(sorted, 0.75);
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+  b.whisker_low = b.maximum;
+  b.whisker_high = b.minimum;
+  for (double x : sorted) {
+    if (x >= lo_fence) {
+      b.whisker_low = x;
+      break;
+    }
+  }
+  for (std::size_t i = sorted.size(); i-- > 0;) {
+    if (sorted[i] <= hi_fence) {
+      b.whisker_high = sorted[i];
+      break;
+    }
+  }
+  return b;
+}
+
+double peak_to_peak(const std::vector<double>& xs) { return max_value(xs) - min_value(xs); }
+
+double rms_deviation(const std::vector<double>& xs) {
+  require(!xs.empty(), "rms_deviation: empty sample");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace ivory

@@ -1,0 +1,43 @@
+// Descriptive statistics over sampled waveforms.
+//
+// The GPU case study (Section 5 of the paper) summarizes supply-voltage noise
+// as box plots per benchmark and VR configuration (Fig. 10) and as min/max
+// noise ranges per waveform (Fig. 11). These helpers compute exactly those
+// summaries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ivory {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  ///< Population variance.
+double stddev(const std::vector<double>& xs);
+double min_value(const std::vector<double>& xs);
+double max_value(const std::vector<double>& xs);
+
+/// Linear-interpolated quantile, q in [0, 1].
+double quantile(std::vector<double> xs, double q);
+
+/// Box-plot summary (Tukey): quartiles plus whiskers at the most extreme data
+/// points within 1.5*IQR of the box.
+struct BoxStats {
+  double minimum;
+  double whisker_low;
+  double q1;
+  double median;
+  double q3;
+  double whisker_high;
+  double maximum;
+  std::size_t n;
+};
+BoxStats box_stats(const std::vector<double>& xs);
+
+/// Peak-to-peak range (max - min); the paper's "voltage noise range".
+double peak_to_peak(const std::vector<double>& xs);
+
+/// Root-mean-square of the deviation from the mean.
+double rms_deviation(const std::vector<double>& xs);
+
+}  // namespace ivory

@@ -1,0 +1,31 @@
+// Plain-text table rendering for benches and examples.
+//
+// Every bench binary reproduces one of the paper's tables or figures as rows
+// of text; this helper keeps their output aligned and uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ivory {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  static std::string num(double v, int precision = 4);
+  /// Formats in engineering style with SI suffix (e.g. "125 MHz", "1.2 nF").
+  static std::string si(double v, const std::string& unit, int precision = 3);
+
+  /// Renders with a header rule and column alignment.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ivory

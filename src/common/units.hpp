@@ -1,0 +1,32 @@
+// Unit helpers and physical constants used across Ivory.
+//
+// All internal computation is in SI base units (volts, amps, ohms, farads,
+// henries, seconds, hertz, watts, square metres). The literals below exist so
+// that model code and tests can state magnitudes the way the paper does
+// (nF/mm^2, mOhm, MHz, ...) without sprinkling powers of ten around.
+#pragma once
+
+namespace ivory {
+
+inline constexpr double kilo  = 1e3;
+inline constexpr double mega  = 1e6;
+inline constexpr double giga  = 1e9;
+inline constexpr double milli = 1e-3;
+inline constexpr double micro = 1e-6;
+inline constexpr double nano  = 1e-9;
+inline constexpr double pico  = 1e-12;
+inline constexpr double femto = 1e-15;
+
+/// Square millimetres -> square metres.
+inline constexpr double mm2 = 1e-6;
+
+/// Boltzmann constant [J/K].
+inline constexpr double k_boltzmann = 1.380649e-23;
+/// Elementary charge [C].
+inline constexpr double q_electron = 1.602176634e-19;
+/// Thermal voltage at 300 K [V].
+inline constexpr double vt_300k = 0.02585;
+
+inline constexpr double pi = 3.14159265358979323846;
+
+}  // namespace ivory

@@ -1,0 +1,45 @@
+// Shared IVR building blocks: drivers, comparator, digital controller, and
+// clock generator.
+//
+// "Different IVR topologies share many of the same circuit building blocks
+// ... By commensurately modeling these shared building blocks across all
+// topologies, Ivory guarantees fair comparisons between different
+// topologies" (paper Section 3.2). Power and area here are small next to the
+// power train, but they matter for transient response and for the
+// scalability of distributed designs, so they are modeled explicitly from
+// per-node gate energies rather than ignored.
+#pragma once
+
+#include "tech/tech.hpp"
+
+namespace ivory::core {
+
+struct PeripheralBudget {
+  double p_controller_w = 0.0;
+  double p_clockgen_w = 0.0;
+  double p_comparator_w = 0.0;
+  double p_driver_w = 0.0;  ///< Tapered-buffer overhead beyond the final gate charge.
+  double area_m2 = 0.0;
+
+  double total_power() const {
+    return p_controller_w + p_clockgen_w + p_comparator_w + p_driver_w;
+  }
+};
+
+/// Peripheral power/area for a converter in technology `node` switching at
+/// `f_sw_hz` with `n_phases` interleaved phases, driving `c_gate_total_f` of
+/// final-stage gate capacitance at `v_drive_v`.
+///
+/// The digital blocks are modeled as gate populations (controller ~1.5k
+/// gates, clock generator ~200 gates per phase, comparator ~50 gate-
+/// equivalents per sample) with per-node unit gate capacitance; the driver
+/// chain adds the classic tapered-buffer factor (~1/(F-1) of the final-stage
+/// energy per stage, lumped as 30%).
+PeripheralBudget peripheral_budget(tech::Node node, double f_sw_hz, int n_phases,
+                                   double c_gate_total_f, double v_drive_v);
+
+/// Energy of one unit (minimum-ish, 0.5 um wide) gate at `node` [F]: the
+/// basic C in E = C * Vdd^2 used by all digital block estimates.
+double unit_gate_cap(tech::Node node);
+
+}  // namespace ivory::core

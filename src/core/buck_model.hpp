@@ -1,0 +1,67 @@
+// Static model of buck-converter IVRs (paper Section 3.2).
+//
+// Loss model follows the validated off-chip buck analysis of Choi et al.
+// (TCAD'07), extended on-chip by deriving switch and inductor parameters
+// from the technology database, including the polynomial-fitted frequency-
+// dependent inductance coefficient that matters for buck IVRs switching at
+// tens-to-hundreds of MHz.
+//
+// Continuous conduction mode (CCM) throughout; N-way interleaving splits the
+// load across phases and cancels output ripple with the classic multiphase
+// cancellation factor.
+#pragma once
+
+#include "core/blocks.hpp"
+#include "tech/tech.hpp"
+
+namespace ivory::core {
+
+struct BuckDesign {
+  tech::Node node = tech::Node::n32;
+  tech::InductorKind inductor = tech::InductorKind::MagneticFilm;
+  tech::CapKind cap_kind = tech::CapKind::MosCap;
+  double l_per_phase_h = 0.0;  ///< DC inductance per phase.
+  double f_sw_hz = 0.0;
+  int n_phases = 1;            ///< Interleaved phases.
+  double w_high_m = 0.0;       ///< High-side switch width per phase.
+  double w_low_m = 0.0;        ///< Low-side switch width per phase.
+  double c_out_f = 0.0;        ///< Output capacitance (total).
+  /// Ablation hook: pretend L(f) = L0 (disables the polynomial-fitted
+  /// frequency rolloff the paper highlights for buck IVRs).
+  bool ignore_l_rolloff = false;
+};
+
+struct BuckAnalysis {
+  double vin_v = 0.0, vout_v = 0.0, i_load_a = 0.0;
+  double duty = 0.0;
+  double l_eff_h = 0.0;          ///< Inductance after frequency rolloff.
+  double i_ripple_phase_a = 0.0; ///< Peak-to-peak inductor ripple per phase.
+  double i_ripple_out_a = 0.0;   ///< After interleaving cancellation.
+  // Power breakdown [W].
+  double p_out_w = 0.0;
+  double p_conduction_w = 0.0;  ///< Switch + inductor DCR conduction.
+  double p_gate_w = 0.0;
+  double p_overlap_w = 0.0;     ///< V-I overlap during transitions.
+  double p_coss_w = 0.0;        ///< Output-capacitance (junction) loss.
+  double p_deadtime_w = 0.0;    ///< Body-diode conduction in dead time.
+  double p_peripheral_w = 0.0;
+  double p_in_w = 0.0;
+  double efficiency = 0.0;
+  // Ripple and area.
+  double ripple_pp_v = 0.0;
+  double area_die_m2 = 0.0;      ///< Die area (switches, caps, on-die inductors).
+  double area_offdie_m2 = 0.0;   ///< Interposer/board area for off-die inductors.
+  double area_m2 = 0.0;          ///< area_die + area_offdie.
+};
+
+/// Evaluates the buck at (vin -> vout, i_load). The converter is regulated:
+/// the duty cycle settles wherever CCM volt-second balance (including
+/// conduction drops) puts it. Throws when the target is unreachable
+/// (vout >= vin) or the design fields are invalid.
+BuckAnalysis analyze_buck(const BuckDesign& d, double vin_v, double vout_v, double i_load_a);
+
+/// Multiphase output-ripple cancellation factor in [0, 1]:
+/// ratio of the summed N-phase ripple to a single phase's ripple at duty D.
+double interleave_cancellation(int n_phases, double duty);
+
+}  // namespace ivory::core

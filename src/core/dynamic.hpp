@@ -1,0 +1,118 @@
+// Dynamic (transient) models of IVR output voltage (paper Section 3.3).
+//
+// Two complementary models are combined:
+//
+//  * The *cycle-by-cycle* model advances the output voltage once per
+//    converter (sub-)cycle. For the SC converter it is paper eq. (2):
+//      V[k+1] = V[k] + ( -Iout[k]*T + (n*Vin - V[k])*Ceq*(1 - e^{-T/(2 Req Ceq)}) ) / Co
+//    with Ceq and Req derived so the steady state reproduces the static
+//    R_SSL/R_FSL impedances. The buck model integrates the averaged CCM
+//    state (inductor current + output voltage) with a PI duty controller;
+//    an N-interleaved buck is folded into one equivalent converter with
+//    L/N (the paper's "N parallel-connected buck converters" equivalence).
+//    The digital LDO steps a quantized pass array from a clocked comparator.
+//
+//  * The *in-cycle* model captures response above the switching frequency,
+//    where the converter cannot regulate (the switches act as a zero-order
+//    hold, eqs. (3)-(5)) and only the fly/output capacitance connected to
+//    the load decouples: it integrates the within-cycle deviation of the
+//    load current on that capacitance.
+//
+// The combined waveform is the sum of the two — valid across the full
+// frequency range, and orders of magnitude faster than SPICE (Fig. 4).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "core/buck_model.hpp"
+#include "core/ldo_model.hpp"
+#include "core/sc_model.hpp"
+
+namespace ivory::core {
+
+/// A simulated output-voltage waveform, sampled at dt_s.
+struct DynWaveform {
+  double dt_s = 0.0;
+  std::vector<double> v;
+};
+
+/// SC feedback scheme for the cycle model.
+enum class ScControl {
+  FreeRunning,  ///< Every sub-cycle transfers charge (no regulation).
+  LowerBound,   ///< Hysteretic pulse-skipping: transfer only when V < Vref.
+};
+
+/// Cycle-by-cycle SC response to a load-current trace sampled at dt_s.
+/// The output is sampled at the interleave sub-cycle rate and resampled to
+/// dt_s. `vref_v` is the regulation target (ignored when free-running).
+DynWaveform sc_cycle_response(const ScDesign& d, double vin_v, double vref_v,
+                              const std::vector<double>& i_load_a, double dt_s,
+                              ScControl control = ScControl::LowerBound);
+
+/// Fully trace-driven variant covering the paper's three validation
+/// scenarios at once: `vin` may vary (line regulation), `vref` may vary
+/// (reference regulation / fast DVFS), and the load varies (load
+/// regulation). All three traces share dt_s and length.
+DynWaveform sc_cycle_response_traces(const ScDesign& d, const std::vector<double>& vin_v,
+                                     const std::vector<double>& vref_v,
+                                     const std::vector<double>& i_load_a, double dt_s,
+                                     ScControl control = ScControl::LowerBound);
+
+/// Cycle-by-cycle buck response with a PI duty-cycle controller.
+DynWaveform buck_cycle_response(const BuckDesign& d, double vin_v, double vref_v,
+                                const std::vector<double>& i_load_a, double dt_s);
+
+/// Cycle-by-cycle digital-LDO response (clocked bang-bang pass array).
+DynWaveform ldo_cycle_response(const LdoDesign& d, double vin_v, double vref_v,
+                               const std::vector<double>& i_load_a, double dt_s);
+
+/// In-cycle response: the voltage deviation caused by within-cycle load
+/// current variation on the high-frequency output capacitance `c_hf_f`.
+/// Deviations are integrated per converter cycle `t_cycle_s` (the cycle
+/// average is what the cycle-by-cycle model already handles).
+std::vector<double> in_cycle_response(const std::vector<double>& i_load_a, double dt_s,
+                                      double t_cycle_s, double c_hf_f);
+
+/// Supply noise added by a grid path (R, L) carrying the load current:
+/// -R * (i - mean(i)) - L * di/dt.
+std::vector<double> grid_noise(const std::vector<double>& i_load_a, double dt_s, double r_ohm,
+                               double l_h);
+
+/// Combined cycle + in-cycle SC waveform (the full Ivory dynamic model).
+DynWaveform sc_combined_response(const ScDesign& d, double vin_v, double vref_v,
+                                 const std::vector<double>& i_load_a, double dt_s,
+                                 ScControl control = ScControl::LowerBound);
+
+/// Combined cycle + in-cycle buck waveform.
+DynWaveform buck_combined_response(const BuckDesign& d, double vin_v, double vref_v,
+                                   const std::vector<double>& i_load_a, double dt_s);
+
+/// Combined cycle + in-cycle LDO waveform.
+DynWaveform ldo_combined_response(const LdoDesign& d, double vin_v, double vref_v,
+                                  const std::vector<double>& i_load_a, double dt_s);
+
+// ---------------------------------------------------------------------------
+// Frequency-domain noise transfer (paper eqs. (3)-(5))
+// ---------------------------------------------------------------------------
+
+/// Interference transfer V_out/V_noise of a generalized feedback converter:
+///   H(jw) = F_L / (1 + F_L * F_ctl * F_sw),     (eq. 3)
+/// with the switches modeled as a zero-order hold
+///   F_sw(jw) = (1 - e^{-jw T}) / (jw T),        (eq. 4)
+/// so that above f_sw, F_sw -> 0 and H -> F_L    (eq. 5):
+/// the converter has no regulation authority there and the passive output
+/// network alone shapes the noise.
+struct NoiseTransfer {
+  double f_sw_hz = 0.0;
+  double c_hf_f = 0.0;       ///< Output/fly capacitance facing the load.
+  double r_out_ohm = 0.0;    ///< Converter output impedance feeding that cap.
+  double ctrl_gain = 10.0;   ///< DC loop gain of controller + driver.
+  double ctrl_delay_s = 0.0; ///< Feedback latency (defaults to half a cycle).
+
+  std::complex<double> f_load(double f_hz) const;
+  std::complex<double> f_zoh(double f_hz) const;
+  std::complex<double> rejection(double f_hz) const;
+};
+
+}  // namespace ivory::core

@@ -1,0 +1,34 @@
+// Umbrella header for Ivory: the early-stage IVR design-space exploration
+// tool (Zou et al., DAC 2017).
+//
+// Typical use:
+//
+//   ivory::core::SystemParams sys;           // Table-1 style inputs
+//   sys.vin_v = 3.3; sys.vout_v = 1.0;
+//   sys.p_load_w = 20.0; sys.area_max_m2 = 20e-6;
+//   auto designs = ivory::core::explore(sys); // static DSE (Table 2)
+//   auto& best = designs.front();
+//
+//   // Dynamic response to a workload trace (Figs. 9-11):
+//   auto traces = ivory::workload::generate_gpu_traces(
+//       ivory::workload::Benchmark::CFD, 4, 15.0, 100e-6, 10e-9);
+//   auto wave = ivory::core::sc_combined_response(
+//       best.sc, sys.vin_v, sys.vout_v, i_load, 10e-9);
+//
+//   // End-to-end PDS efficiency (Fig. 13):
+//   auto pds = ivory::core::evaluate_pds_ivr(
+//       sys, ivory::pdn::PdnParams::gpuvolt_default(), best, 0.85, noise);
+#pragma once
+
+#include "core/blocks.hpp"
+#include "core/buck_model.hpp"
+#include "core/dynamic.hpp"
+#include "core/ldo_model.hpp"
+#include "core/optimizer.hpp"
+#include "core/pds.hpp"
+#include "core/sc_model.hpp"
+#include "core/sc_topology.hpp"
+#include "pdn/pdn.hpp"
+#include "spice/spice.hpp"
+#include "tech/tech.hpp"
+#include "workload/workload.hpp"

@@ -1,0 +1,45 @@
+// Static model of digital low-dropout linear regulators (paper Section 3.2).
+//
+// "Recent design trends have increasingly adopted digital comparators and
+// controllers to achieve faster transient responses. Therefore, Ivory models
+// linear regulators with a digital feedback path." Efficiency is pinned by
+// physics at eta = (Vout/Vin) * eta_I with current efficiency eta_I near 99%
+// for moderate loads; ripple comes from the limit cycle of the quantized
+// pass-device array.
+#pragma once
+
+#include "core/blocks.hpp"
+#include "tech/tech.hpp"
+
+namespace ivory::core {
+
+struct LdoDesign {
+  tech::Node node = tech::Node::n32;
+  tech::CapKind cap_kind = tech::CapKind::MosCap;
+  double w_pass_m = 0.0;       ///< Total pass-device width.
+  int n_bits = 7;              ///< Pass-array quantization (unary segments = 2^bits).
+  double f_clk_hz = 0.0;       ///< Digital feedback sample clock.
+  double c_out_f = 0.0;        ///< Output capacitance.
+  double i_quiescent_a = 0.0;  ///< Analog bias + reference current.
+};
+
+struct LdoAnalysis {
+  double vin_v = 0.0, vout_v = 0.0, i_load_a = 0.0;
+  double dropout_v = 0.0;       ///< Minimum achievable Vin - Vout at this load.
+  double current_efficiency = 0.0;
+  double efficiency = 0.0;
+  double p_out_w = 0.0;
+  double p_pass_w = 0.0;        ///< (Vin - Vout) * I: the fundamental LDO loss.
+  double p_quiescent_w = 0.0;
+  double p_peripheral_w = 0.0;
+  double p_in_w = 0.0;
+  double ripple_pp_v = 0.0;     ///< Limit-cycle ripple of the digital loop.
+  double area_m2 = 0.0;
+};
+
+/// Evaluates the LDO at (vin -> vout, i_load). Throws when the pass device
+/// cannot support the load at the commanded dropout (vin - vout smaller than
+/// the device's fully-on drop).
+LdoAnalysis analyze_ldo(const LdoDesign& d, double vin_v, double vout_v, double i_load_a);
+
+}  // namespace ivory::core

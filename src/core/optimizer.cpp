@@ -1,0 +1,394 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/optimize.hpp"
+
+namespace ivory::core {
+
+const char* topology_name(IvrTopology t) {
+  switch (t) {
+    case IvrTopology::SwitchedCapacitor: return "SC";
+    case IvrTopology::Buck: return "buck";
+    case IvrTopology::LinearRegulator: return "LDO";
+  }
+  return "?";
+}
+
+std::vector<std::pair<int, int>> candidate_sc_ratios(double vin_v, double vout_v) {
+  require(vin_v > vout_v && vout_v > 0.0, "candidate_sc_ratios: need vin > vout > 0");
+  std::vector<std::pair<int, int>> out;
+  for (int n = 2; n <= 6; ++n) {
+    for (int m = 1; m < n; ++m) {
+      if (std::gcd(n, m) != 1) continue;
+      const double videal = vin_v * static_cast<double>(m) / static_cast<double>(n);
+      // Need headroom for the I*R_out regulation drop.
+      if (videal < vout_v * 1.02) continue;
+      out.emplace_back(n, m);
+    }
+  }
+  std::sort(out.begin(), out.end(), [&](const auto& a, const auto& b) {
+    return static_cast<double>(a.second) / a.first < static_cast<double>(b.second) / b.first;
+  });
+  return out;
+}
+
+namespace {
+
+void check_sys(const SystemParams& sys) {
+  require(sys.area_max_m2 > 0.0, "SystemParams: area budget must be positive");
+  require(sys.p_load_w > 0.0, "SystemParams: load power must be positive");
+  require(sys.vin_v > sys.vout_v && sys.vout_v > 0.0, "SystemParams: need vin > vout > 0");
+  require(sys.max_distributed >= 1, "SystemParams: max_distributed must be >= 1");
+  require(sys.ripple_max_v > 0.0, "SystemParams: ripple budget must be positive");
+}
+
+// --- Switched capacitor ------------------------------------------------------
+
+// Die area consumed per siemens of total switch conductance, given the
+// optimal per-switch allocation and per-switch device class.
+double sc_area_per_conductance(const ScTopology& topo, const ChargeVectors& cv,
+                               const std::vector<double>& stress, double vin_v,
+                               tech::Node node) {
+  const tech::SwitchTech& core_dev = tech::switch_tech(node, tech::DeviceClass::Core);
+  const tech::SwitchTech& io_dev = tech::switch_tech(node, tech::DeviceClass::Io);
+  const double sum_ar = cv.sum_ar();
+  double k = 0.0;
+  for (std::size_t i = 0; i < topo.switches.size(); ++i) {
+    const double share = std::max(cv.a_switch[i],
+                                  0.02 * sum_ar / static_cast<double>(topo.switches.size())) /
+                         sum_ar;
+    const tech::SwitchTech& dev =
+        stress[i] * vin_v > core_dev.vmax_v ? io_dev : core_dev;
+    k += share * dev.ron_w_ohm_m * dev.area_per_w_m;  // W = RonW * G; area = W * pitch.
+  }
+  return k;
+}
+
+DseResult optimize_sc(const SystemParams& sys, int n_dist) {
+  const double area_ivr = sys.area_max_m2 / n_dist;
+  const double i_ivr = sys.p_load_w / sys.vout_v / n_dist;
+  const tech::CapacitorTech cap = tech::capacitor_tech(sys.node, sys.cap_kind);
+
+  DseResult bestr;
+  bestr.topology = IvrTopology::SwitchedCapacitor;
+  bestr.n_distributed = n_dist;
+
+  std::vector<std::pair<std::pair<int, int>, ScFamily>> variants;
+  for (const auto& ratio : candidate_sc_ratios(sys.vin_v, sys.vout_v)) {
+    // The ladder's one-rung switch stress often admits thin-oxide devices
+    // where series-parallel needs thick-oxide; try both families for n:1.
+    variants.push_back({ratio, ScFamily::Ladder});
+    if (ratio.second == 1) variants.push_back({ratio, ScFamily::SeriesParallel});
+  }
+
+  for (const auto& [ratio, family] : variants) {
+    const auto& [n, m] = ratio;
+    const ScTopology topo = make_topology(n, m, family);
+    const ChargeVectors cv = charge_vectors(topo);
+    const std::vector<double> stress = switch_stress_ratios(topo);
+    const double sum_ac = cv.sum_ac();
+    const double sum_ar = cv.sum_ar();
+    const double k_area_g = sc_area_per_conductance(topo, cv, stress, sys.vin_v, sys.node);
+    const double videal = topo.ideal_ratio() * sys.vin_v;
+    // The converter must hold regulation at the worst-case load peak, not
+    // the average (workload traces swing to ~2.5x the mean); at average load
+    // the hysteretic controller skips pulses, i.e. runs at a lower effective
+    // frequency.
+    constexpr double kPeakLoadFactor = 2.5;
+    const double r_needed_peak = (videal - sys.vout_v) / (kPeakLoadFactor * i_ivr);
+
+    // At a fixed (C, G) split, peak-load regulation pins the maximum switching
+    // frequency; the only free variable is the capacitor share of the area
+    // budget.
+    auto evaluate_split = [&](double cap_frac) -> DseResult {
+      DseResult r;
+      r.topology = IvrTopology::SwitchedCapacitor;
+      r.n_distributed = n_dist;
+      const double usable = area_ivr / 1.15;  // Mirror the wiring overhead.
+      const double area_caps = cap_frac * usable;
+      const double area_sw = (1.0 - cap_frac) * usable * 0.95;  // 5% peripheral.
+      const double c_total = area_caps * cap.density_f_m2;
+      const double c_fly = 0.85 * c_total;
+      const double c_out = 0.15 * c_total;
+      const double g_tot = area_sw / k_area_g;
+
+      const double rfsl = sum_ar * sum_ar / (g_tot * 0.5);
+      if (r_needed_peak <= rfsl * 1.02) return r;  // Cannot regulate: FSL floor too high.
+      const double rssl_peak = std::sqrt(r_needed_peak * r_needed_peak - rfsl * rfsl);
+      const double f_max = sum_ac * sum_ac / (c_fly * rssl_peak);
+      if (f_max < 1e5 || f_max > 5e9) return r;  // Outside sane switching range.
+
+      ScDesign d;
+      d.node = sys.node;
+      d.cap_kind = sys.cap_kind;
+      d.n = n;
+      d.m = m;
+      d.family = family;
+      d.c_fly_f = c_fly;
+      d.c_out_f = c_out;
+      d.g_tot_s = g_tot;
+      d.f_sw_hz = f_max;
+      d.duty = 0.5;
+      d.n_interleave = 1;
+
+      // At the average load, pulse skipping lowers the effective frequency.
+      const ScRegulated reg0 = analyze_sc_regulated(d, sys.vin_v, sys.vout_v, i_ivr);
+      if (!reg0.feasible) return r;
+      // Interleave to meet the ripple budget at the operating frequency.
+      const double c_hf = sc_output_hf_cap(d);
+      const double n_il = std::ceil(i_ivr / (reg0.f_sw_used_hz * c_hf * sys.ripple_max_v));
+      d.n_interleave = static_cast<int>(std::clamp(n_il, 1.0, 64.0));
+      const ScRegulated reg = analyze_sc_regulated(d, sys.vin_v, sys.vout_v, i_ivr);
+      if (!reg.feasible) return r;
+
+      const ScAnalysis& a = reg.analysis;
+      r.feasible = a.ripple_pp_v <= sys.ripple_max_v * 1.05 && a.area_m2 <= area_ivr * 1.02;
+      r.efficiency = a.efficiency;
+      r.ripple_pp_v = a.ripple_pp_v;
+      r.f_sw_hz = reg.f_sw_used_hz;
+      r.area_m2 = a.area_m2 * n_dist;
+      r.n_interleave = d.n_interleave;
+      r.sc = d;
+      r.label = std::to_string(n) + ":" + std::to_string(m) + " SC";
+      return r;
+    };
+
+    // Feasibility cliffs make the objective non-unimodal: coarse grid first,
+    // then a golden refinement around the best cell.
+    auto objective = [&](double x) {
+      const DseResult r = evaluate_split(x);
+      return r.feasible ? r.efficiency : -1.0;
+    };
+    double best_x = 0.5, best_f = objective(0.5);
+    for (int i = 1; i <= 16; ++i) {
+      const double x = 0.50 + 0.48 * i / 16.0;
+      const double fx = objective(x);
+      if (fx > best_f) {
+        best_f = fx;
+        best_x = x;
+      }
+    }
+    const ScalarOptimum opt = golden_maximize(objective, std::max(0.50, best_x - 0.03),
+                                              std::min(0.98, best_x + 0.03), 1e-4);
+    const DseResult r = evaluate_split(opt.f > best_f ? opt.x : best_x);
+    if (r.feasible && (!bestr.feasible || r.efficiency > bestr.efficiency)) bestr = r;
+  }
+  return bestr;
+}
+
+// --- Buck --------------------------------------------------------------------
+
+DseResult optimize_buck(const SystemParams& sys, int n_dist) {
+  const double area_ivr = sys.area_max_m2 / n_dist;
+  const double i_ivr = sys.p_load_w / sys.vout_v / n_dist;
+  const tech::CapacitorTech cap = tech::capacitor_tech(sys.node, sys.cap_kind);
+  const tech::InductorTech& ind = tech::inductor_tech(sys.inductor);
+  const tech::SwitchTech& core_dev = tech::switch_tech(sys.node, tech::DeviceClass::Core);
+  const tech::SwitchTech& dev = sys.vin_v > core_dev.vmax_v
+                                    ? tech::switch_tech(sys.node, tech::DeviceClass::Io)
+                                    : core_dev;
+
+  DseResult bestr;
+  bestr.topology = IvrTopology::Buck;
+  bestr.n_distributed = n_dist;
+
+  const double duty0 = sys.vout_v / sys.vin_v;
+  for (int n_phases : {2, 4, 8, 16}) {
+    // The area budget is a ceiling, not a quota: oversized switches burn gate
+    // charge, so the switch-area utilization is itself a design variable.
+    auto evaluate = [&](double l_frac, double sw_util, double f_sw) -> DseResult {
+      DseResult r;
+      r.topology = IvrTopology::Buck;
+      r.n_distributed = n_dist;
+      const double usable = area_ivr / 1.15;
+      const double area_l = l_frac * usable;
+      const double rest = (1.0 - l_frac) * usable;
+      const double area_sw = 0.4 * rest * sw_util;
+      const double area_c = 0.55 * rest;  // 5% peripheral.
+
+      const double l_total = area_l * ind.density_h_m2;
+      const double l_phase = l_total / n_phases;
+      const double c_out = area_c * cap.density_f_m2;
+      const double w_total = area_sw / dev.area_per_w_m;
+      // Conduction-optimal high/low split at the nominal duty.
+      const double sd = std::sqrt(duty0), si = std::sqrt(1.0 - duty0);
+      const double w_hs = w_total / n_phases * sd / (sd + si);
+      const double w_ls = w_total / n_phases * si / (sd + si);
+      if (l_phase <= 0.0 || c_out <= 0.0 || w_hs <= 0.0) return r;
+
+      BuckDesign d;
+      d.node = sys.node;
+      d.inductor = sys.inductor;
+      d.cap_kind = sys.cap_kind;
+      d.l_per_phase_h = l_phase;
+      d.f_sw_hz = f_sw;
+      d.n_phases = n_phases;
+      d.w_high_m = w_hs;
+      d.w_low_m = w_ls;
+      d.c_out_f = c_out;
+      try {
+        const BuckAnalysis a = analyze_buck(d, sys.vin_v, sys.vout_v, i_ivr);
+        // Require CCM: ripple current below twice the per-phase DC current.
+        if (a.i_ripple_phase_a > 2.0 * i_ivr / n_phases) return r;
+        r.feasible = a.ripple_pp_v <= sys.ripple_max_v && a.area_die_m2 <= area_ivr * 1.02;
+        r.efficiency = a.efficiency;
+        r.ripple_pp_v = a.ripple_pp_v;
+        r.f_sw_hz = f_sw;
+        r.area_m2 = a.area_m2 * n_dist;
+        r.n_interleave = n_phases;
+        r.buck = d;
+        r.label = "buck";
+      } catch (const InvalidParameter&) {
+        // Unreachable operating point for this sizing.
+      }
+      return r;
+    };
+
+    for (double l_frac : {0.02, 0.03, 0.05, 0.10, 0.18, 0.25, 0.40, 0.55, 0.70}) {
+      for (double sw_util : {0.03, 0.07, 0.15, 0.3, 0.6, 1.0}) {
+        const ScalarOptimum opt = log_grid_minimize(
+            [&](double f) {
+              const DseResult r = evaluate(l_frac, sw_util, f);
+              return r.feasible ? 1.0 - r.efficiency : 2.0;
+            },
+            2e6, 1e9, 48);
+        const DseResult r = evaluate(l_frac, sw_util, opt.x);
+        if (r.feasible && (!bestr.feasible || r.efficiency > bestr.efficiency)) bestr = r;
+      }
+    }
+  }
+  return bestr;
+}
+
+// --- LDO ---------------------------------------------------------------------
+
+DseResult optimize_ldo(const SystemParams& sys, int n_dist) {
+  const double area_ivr = sys.area_max_m2 / n_dist;
+  const double i_ivr = sys.p_load_w / sys.vout_v / n_dist;
+  const tech::CapacitorTech cap = tech::capacitor_tech(sys.node, sys.cap_kind);
+  const tech::SwitchTech& core_dev = tech::switch_tech(sys.node, tech::DeviceClass::Core);
+  const tech::SwitchTech& dev = sys.vin_v > core_dev.vmax_v
+                                    ? tech::switch_tech(sys.node, tech::DeviceClass::Io)
+                                    : core_dev;
+
+  DseResult r;
+  r.topology = IvrTopology::LinearRegulator;
+  r.n_distributed = n_dist;
+  r.label = "LDO";
+
+  LdoDesign d;
+  d.node = sys.node;
+  d.cap_kind = sys.cap_kind;
+  d.n_bits = 8;
+  // Pass device sized so the fully-on drop is 20% of the available headroom.
+  const double r_pass = 0.2 * (sys.vin_v - sys.vout_v) / i_ivr;
+  d.w_pass_m = dev.ron_w_ohm_m / r_pass;
+  // Half the area goes to output decap; clock chosen to hit the ripple
+  // budget with one-LSB limit cycling.
+  d.c_out_f = 0.5 * area_ivr / 1.15 * cap.density_f_m2;
+  const double i_lsb = (sys.vin_v - sys.vout_v) / r_pass / std::pow(2.0, d.n_bits);
+  d.f_clk_hz = std::clamp(i_lsb / (0.8 * sys.ripple_max_v * d.c_out_f), 10e6, 3e9);
+  d.i_quiescent_a = 0.002 * i_ivr;
+
+  try {
+    const LdoAnalysis a = analyze_ldo(d, sys.vin_v, sys.vout_v, i_ivr);
+    r.feasible = a.ripple_pp_v <= sys.ripple_max_v && a.area_m2 <= area_ivr * 1.05;
+    r.efficiency = a.efficiency;
+    r.ripple_pp_v = a.ripple_pp_v;
+    r.f_sw_hz = d.f_clk_hz;
+    r.area_m2 = a.area_m2 * n_dist;
+    r.ldo = d;
+  } catch (const InvalidParameter&) {
+    // Leaves feasible = false.
+  }
+  return r;
+}
+
+}  // namespace
+
+DseResult optimize_topology(const SystemParams& sys, IvrTopology topo, int n_distributed) {
+  check_sys(sys);
+  require(n_distributed >= 1 && n_distributed <= sys.max_distributed,
+          "optimize_topology: distribution count out of range");
+  switch (topo) {
+    case IvrTopology::SwitchedCapacitor: return optimize_sc(sys, n_distributed);
+    case IvrTopology::Buck: return optimize_buck(sys, n_distributed);
+    case IvrTopology::LinearRegulator: return optimize_ldo(sys, n_distributed);
+  }
+  throw InvalidParameter("optimize_topology: unknown topology");
+}
+
+std::vector<DseResult> explore(const SystemParams& sys, OptTarget target) {
+  check_sys(sys);
+  std::vector<DseResult> all;
+  for (IvrTopology topo : {IvrTopology::SwitchedCapacitor, IvrTopology::Buck,
+                           IvrTopology::LinearRegulator}) {
+    for (int n = 1; n <= sys.max_distributed; n *= 2)
+      all.push_back(optimize_topology(sys, topo, n));
+  }
+  std::stable_sort(all.begin(), all.end(), [target](const DseResult& a, const DseResult& b) {
+    if (a.feasible != b.feasible) return a.feasible;
+    switch (target) {
+      case OptTarget::Efficiency: return a.efficiency > b.efficiency;
+      case OptTarget::Area: return a.area_m2 < b.area_m2;
+      case OptTarget::Noise: return a.ripple_pp_v < b.ripple_pp_v;
+    }
+    return false;
+  });
+  return all;
+}
+
+DseResult best_design(const SystemParams& sys, OptTarget target) {
+  const std::vector<DseResult> all = explore(sys, target);
+  require(!all.empty() && all.front().feasible, "best_design: no feasible design found");
+  return all.front();
+}
+
+TwoStageResult optimize_two_stage(const SystemParams& sys, int n_distributed) {
+  check_sys(sys);
+  require(n_distributed >= 1 && n_distributed <= sys.max_distributed,
+          "optimize_two_stage: distribution count out of range");
+
+  TwoStageResult best;
+  // Intermediate rails worth trying: between ~1.3x vout (second stage nearly
+  // a pass-through) and ~0.8x vin (first stage nearly a pass-through).
+  for (double v_mid : {1.3 * sys.vout_v, 1.6 * sys.vout_v, 2.0 * sys.vout_v,
+                       0.5 * (sys.vout_v + sys.vin_v), 0.7 * sys.vin_v}) {
+    if (v_mid <= sys.vout_v * 1.1 || v_mid >= sys.vin_v * 0.95) continue;
+    for (double a1 : {0.25, 0.40, 0.55}) {
+      // Stage 2 first: v_mid -> vout, distributed, sets the power stage 1
+      // must carry.
+      SystemParams s2 = sys;
+      s2.vin_v = v_mid;
+      s2.area_max_m2 = sys.area_max_m2 * (1.0 - a1);
+      const DseResult r2 = optimize_topology(s2, IvrTopology::SwitchedCapacitor, n_distributed);
+      if (!r2.feasible) continue;
+
+      SystemParams s1 = sys;
+      s1.vout_v = v_mid;
+      s1.area_max_m2 = sys.area_max_m2 * a1;
+      s1.p_load_w = sys.p_load_w / r2.efficiency;  // Stage 1 carries stage 2's input.
+      // The intermediate rail tolerates more ripple than the core rail.
+      s1.ripple_max_v = 5.0 * sys.ripple_max_v;
+      const DseResult r1 = optimize_topology(s1, IvrTopology::SwitchedCapacitor, 1);
+      if (!r1.feasible) continue;
+
+      const double eff = r1.efficiency * r2.efficiency;
+      if (!best.feasible || eff > best.efficiency) {
+        best.feasible = true;
+        best.v_mid_v = v_mid;
+        best.area_frac_stage1 = a1;
+        best.stage1 = r1;
+        best.stage2 = r2;
+        best.efficiency = eff;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ivory::core

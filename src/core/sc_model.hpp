@@ -1,0 +1,100 @@
+// Static model of switched-capacitor IVRs (paper Section 3.2).
+//
+// Follows Seeman's analytical methodology: the charge-multiplier vectors of
+// the topology give the slow- and fast-switching-limit output impedances
+//
+//   R_SSL = (sum |a_c,i|)^2 / (C_tot * f_sw)
+//   R_FSL = (sum |a_r,i|)^2 / (G_tot * D_cyc)
+//
+// (paper eq. (1), optimal capacitor/switch allocation). Conduction loss is
+// I^2 * sqrt(R_SSL^2 + R_FSL^2); switching losses cover gate drive, bottom-
+// plate parasitics, capacitor gate leakage and switch off-state leakage; the
+// shared peripheral blocks come from blocks.hpp. Device class (core vs
+// thick-oxide IO) is chosen per switch from its blocking-voltage stress.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/blocks.hpp"
+#include "core/sc_topology.hpp"
+#include "tech/tech.hpp"
+
+namespace ivory::core {
+
+struct ScDesign {
+  tech::Node node = tech::Node::n32;
+  tech::CapKind cap_kind = tech::CapKind::MosCap;
+  int n = 2, m = 1;           ///< Conversion ratio n:m (Vout ~ m/n * Vin).
+  ScFamily family = ScFamily::Auto;
+  double c_fly_f = 0.0;       ///< Total flying (+ interior DC) capacitance.
+  double g_tot_s = 0.0;       ///< Total switch on-conductance.
+  double f_sw_hz = 0.0;       ///< Per-phase switching frequency.
+  int n_interleave = 1;       ///< Interleaved converter slices.
+  double c_out_f = 0.0;       ///< Output decap (not part of c_fly_f).
+  double duty = 0.5;          ///< D_cyc of the phase signals.
+
+  // --- advanced-user hooks (paper Section 3.2) -----------------------------
+  /// Custom switch topology: "advanced users can plug-in their own switch
+  /// topology" — when set, n/m/family above are ignored and the charge
+  /// multipliers are derived from this network instead.
+  std::shared_ptr<const ScTopology> custom_topology;
+  /// Direct technology overrides (bypass the built-in database).
+  std::optional<tech::CapacitorTech> custom_cap;
+
+  /// The topology this design analyzes (custom or built-in).
+  ScTopology topology() const {
+    return custom_topology ? *custom_topology : make_topology(n, m, family);
+  }
+  /// The capacitor technology this design uses (custom or database).
+  tech::CapacitorTech capacitor() const {
+    return custom_cap ? *custom_cap : tech::capacitor_tech(node, cap_kind);
+  }
+};
+
+struct ScAnalysis {
+  // Operating point.
+  double vin_v = 0.0, i_load_a = 0.0;
+  double vout_ideal_v = 0.0;  ///< (m/n) * Vin.
+  double vout_v = 0.0;        ///< After the I*R_out drop.
+  // Impedances.
+  double rssl_ohm = 0.0, rfsl_ohm = 0.0, rout_ohm = 0.0;
+  // Power breakdown [W].
+  double p_out_w = 0.0;
+  double p_conduction_w = 0.0;
+  double p_gate_w = 0.0;
+  double p_bottom_plate_w = 0.0;
+  double p_leakage_w = 0.0;
+  double p_peripheral_w = 0.0;
+  double p_in_w = 0.0;
+  double efficiency = 0.0;
+  // Ripple and area.
+  double ripple_pp_v = 0.0;
+  double area_caps_m2 = 0.0, area_switches_m2 = 0.0, area_peripheral_m2 = 0.0;
+  double area_m2 = 0.0;
+  double switch_width_m = 0.0;  ///< Total gate width across all switches.
+};
+
+/// Evaluates the design at (vin, i_load) running open-loop at its design
+/// switching frequency.
+ScAnalysis analyze_sc(const ScDesign& d, double vin_v, double i_load_a);
+
+/// Evaluates the design regulated to `vout_target`: the controller lowers the
+/// effective switching frequency (raising R_SSL) until the output drops to
+/// the target. Infeasible when the target exceeds what the converter can
+/// reach at its design frequency (the "efficiency cliff" past the peak in
+/// Fig. 7) or sits below the floor the FSL impedance allows.
+struct ScRegulated {
+  bool feasible = false;
+  double f_sw_used_hz = 0.0;
+  ScAnalysis analysis;
+};
+ScRegulated analyze_sc_regulated(const ScDesign& d, double vin_v, double vout_target_v,
+                                 double i_load_a);
+
+/// Effective high-frequency decoupling seen at the output: the output decap
+/// plus the fly-capacitance fraction connected across the load at any
+/// instant. This is the C of the in-cycle model.
+double sc_output_hf_cap(const ScDesign& d);
+
+}  // namespace ivory::core

@@ -1,0 +1,135 @@
+// Switched-capacitor topology descriptions and the generic two-phase
+// charge-multiplier solver (Seeman's method, automated).
+//
+// A topology is a physical netlist fragment: capacitors with fixed terminal
+// nodes, plus switches that each conduct in exactly one of the two phases.
+// The charge-multiplier vectors a_c (per capacitor) and a_r (per switch) of
+// paper eq. (1) fall out of a linear charge-flow system: KCL at every node in
+// each phase, capacitor charge balance across phases, and unit charge
+// delivered to the output per cycle. The solver is fully generic — "Ivory's
+// built-in, analytical formula calculates the charge multiplier vectors for
+// any conversion ratio of these two topologies, automating the tedious
+// derivation" — and advanced users can feed it custom topologies.
+//
+// Node convention: 0 = ground, 1 = Vin, 2 = Vout, >= 3 internal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace ivory::core {
+
+inline constexpr int kScGnd = 0;
+inline constexpr int kScVin = 1;
+inline constexpr int kScVout = 2;
+
+struct ScCap {
+  int pos, neg;
+  /// Steady-state capacitor voltage as a fraction of Vin (all caps in the
+  /// series-parallel and ladder families hold Vin/n — the equal-voltage-
+  /// rating property that makes them suitable on-chip).
+  double ideal_v_ratio;
+  /// DC caps hold a rung voltage and never move; fly caps shuttle charge.
+  bool is_dc;
+};
+
+struct ScSwitch {
+  int phase;  ///< 0 = conducts in phase A, 1 = conducts in phase B.
+  int a, b;
+};
+
+struct ScTopology {
+  std::string name;
+  int n = 1, m = 1;  ///< Ideal conversion: Vout = (m/n) * Vin.
+  int node_count = 3;
+  std::vector<ScCap> caps;
+  std::vector<ScSwitch> switches;
+
+  double ideal_ratio() const { return static_cast<double>(m) / static_cast<double>(n); }
+  /// Allocates a fresh internal node id.
+  int new_node() { return node_count++; }
+};
+
+/// Series-parallel step-down n:1 (n >= 2): n-1 flying caps charged in series
+/// from Vin in phase A, discharged in parallel into Vout in phase B.
+/// 3n-2 switches.
+ScTopology series_parallel(int n);
+
+/// Ladder n:m (1 <= m < n): rung nodes at k*Vin/n held by n-2 interior DC
+/// caps; n-1 flying caps bridge rung (k-1, k) in phase A and (k, k+1) in
+/// phase B, pumping charge from the Vin rung down to the Vout rung.
+/// 4(n-1) switches. (The cap directly across Vout is the output bypass and
+/// is excluded from the charge-flow analysis, per Seeman.)
+ScTopology ladder(int n, int m);
+
+/// Dickson (charge-pump) step-down n:1 (n >= 2): n-1 flying caps whose
+/// bottom plates are toggled between gnd and Vout while their top plates
+/// form a chain from Vin to Vout. Fewer capacitors than the ladder at the
+/// same ratio, but caps hold graded voltages (k * Vin/n — NOT equal-rating,
+/// so less friendly to on-chip MOS caps; included for completeness and as a
+/// third exerciser of the generic charge-flow solver).
+ScTopology dickson(int n);
+
+/// Topology family selector. SeriesParallel realizes only n:1 ratios but
+/// uses the fewest switches; Ladder realizes any n:m and stresses every
+/// switch by only one rung (Vin/n), usually allowing thin-oxide devices.
+enum class ScFamily { Auto, SeriesParallel, Ladder, Dickson };
+
+/// Builds the requested family (Auto: series-parallel when m == 1, ladder
+/// otherwise). Throws when the family cannot realize the ratio.
+ScTopology make_topology(int n, int m, ScFamily family = ScFamily::Auto);
+
+struct ChargeVectors {
+  std::vector<double> a_cap;     ///< |charge through cap i| per unit output charge.
+  std::vector<double> a_switch;  ///< |charge through switch i| per unit output charge.
+  double q_in = 0.0;             ///< Input charge per unit output charge (= m/n ideally).
+  double q_out_phase_a = 0.0;    ///< Output charge delivered during phase A.
+
+  double sum_ac() const;
+  double sum_ar() const;
+};
+
+/// Solves the two-phase charge-flow system. Throws StructuralError when the
+/// topology cannot deliver charge to the output (no path) or the flow system
+/// is inconsistent.
+ChargeVectors charge_vectors(const ScTopology& topo);
+
+/// Ideal node voltages (as fractions of Vin) in each phase, from the
+/// closed-switch equalities and capacitor voltage constraints. Used for
+/// switch blocking-voltage stress analysis and netlist initial conditions.
+struct NodeRatios {
+  std::vector<double> phase_a;  ///< Indexed by node id.
+  std::vector<double> phase_b;
+};
+NodeRatios ideal_node_ratios(const ScTopology& topo);
+
+/// Peak off-state blocking voltage of each switch as a fraction of Vin.
+std::vector<double> switch_stress_ratios(const ScTopology& topo);
+
+/// Emits a switch-level circuit for validation against the MNA simulator.
+/// Capacitors are sized proportionally to |a_c| (total c_fly_tot), switch
+/// conductances proportionally to |a_r| (total g_tot), both per Seeman's
+/// optimal allocation; capacitors start precharged to their ideal voltages.
+struct ScNetlistResult {
+  spice::NodeId vin;
+  spice::NodeId vout;
+};
+ScNetlistResult build_sc_netlist(spice::Circuit& c, const ScTopology& topo,
+                                 const ChargeVectors& cv, double vin_v, double c_fly_tot,
+                                 double g_tot, double f_sw, double c_out, double duty = 0.48);
+
+/// Closed-loop variant: every power switch is gated by a hysteretic
+/// comparator that enables switching only while vout < vref (lower-bound /
+/// pulse-skipping control — the feedback scheme the cycle-by-cycle model
+/// assumes). The input is driven by `vin_wave` so line-regulation scenarios
+/// can be simulated. Used to validate the dynamic model's reference and
+/// line regulation against circuit-level behaviour.
+ScNetlistResult build_sc_netlist_regulated(spice::Circuit& c, const ScTopology& topo,
+                                           const ChargeVectors& cv, spice::Waveform vin_wave,
+                                           double vref_v, double vhyst_v, double c_fly_tot,
+                                           double g_tot, double f_sw, double c_out,
+                                           double duty = 0.48);
+
+}  // namespace ivory::core

@@ -1,0 +1,181 @@
+#include "pdn/pdn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "spice/analysis.hpp"
+
+namespace ivory::pdn {
+
+PdnParams PdnParams::gpuvolt_default() {
+  // Ladder values follow the published equivalent circuits used by GPUVolt /
+  // Kim et al. (HPCA'08) scaled to an embedded four-SM GPU: first droop
+  // resonance lands in the tens of MHz with a peak impedance of a few
+  // milliohms, which produces the ~100 mV-class noise the paper reports for
+  // the off-chip-VRM configuration at ~20 A load swings.
+  PdnParams p;
+  p.board = {0.4e-3, 20e-12, 240e-6, 0.2e-3};
+  p.package = {0.5e-3, 10e-12, 26e-6, 0.5e-3};
+  p.c4 = {0.1e-3, 1e-12, 10e-9, 1e-3};
+  // On-chip distribution from the regulation point to the cores: an embedded
+  // GPU's grid is sparser than a server CPU's, and this span is exactly what
+  // distributed IVRs shorten (the cen-vs-distributed noise lever in Fig. 11).
+  p.grid_r_ohm = 2.0e-3;
+  p.grid_l_h = 12e-12;
+  p.ondie_decap_f = 500e-9;
+  p.ondie_decap_esr_ohm = 0.5e-3;
+  return p;
+}
+
+PdnParams PdnParams::per_domain(int n) const {
+  require(n >= 1, "PdnParams::per_domain: need n >= 1");
+  // Symmetric slice: the shared board/package/C4 network splits into n
+  // parallel copies with impedance x n and decap / n (exact for symmetric
+  // domains). The on-chip grid between the regulation point and the domain's
+  // load shortens as domains localize: the x n slice narrowing and the 1/n
+  // path shortening cancel, leaving the total grid values per domain.
+  PdnParams p = *this;
+  const double nf = static_cast<double>(n);
+  auto scale_stage = [nf](LadderStage& s) {
+    s.r_ohm *= nf;
+    s.l_h *= nf;
+    s.decap_f /= nf;
+    s.decap_esr_ohm *= nf;
+  };
+  scale_stage(p.board);
+  scale_stage(p.package);
+  scale_stage(p.c4);
+  // Grid slice: width/n (x n per square) but length/n (local path) -> total
+  // unchanged; decap splits.
+  p.ondie_decap_f /= nf;
+  p.ondie_decap_esr_ohm *= nf;
+  return p;
+}
+
+namespace {
+
+using C = std::complex<double>;
+
+C shunt_impedance(double c_f, double esr_ohm, double w) {
+  if (c_f <= 0.0) return C(1e18, 0.0);  // No decap: open.
+  return C(esr_ohm, 0.0) + C(0.0, -1.0 / (w * c_f));
+}
+
+C parallel(C a, C b) { return a * b / (a + b); }
+
+}  // namespace
+
+std::complex<double> input_impedance(const PdnParams& p, double f_hz) {
+  require(f_hz > 0.0, "input_impedance: frequency must be positive");
+  const double w = 2.0 * pi * f_hz;
+  // From the VRM (ideal: 0 ohm) outward toward the die.
+  C z = C(0.0, 0.0);
+  for (const LadderStage* s : {&p.board, &p.package, &p.c4}) {
+    z += C(s->r_ohm, w * s->l_h);
+    z = parallel(z, shunt_impedance(s->decap_f, s->decap_esr_ohm, w));
+  }
+  z += C(p.grid_r_ohm, w * p.grid_l_h);
+  z = parallel(z, shunt_impedance(p.ondie_decap_f, p.ondie_decap_esr_ohm, w));
+  return z;
+}
+
+ImpedancePeak find_impedance_peak(const PdnParams& p, double f_lo, double f_hi, int n_pts) {
+  require(f_lo > 0.0 && f_hi > f_lo, "find_impedance_peak: need 0 < f_lo < f_hi");
+  require(n_pts >= 2, "find_impedance_peak: need at least 2 points");
+  ImpedancePeak best{f_lo, 0.0};
+  const double llo = std::log10(f_lo), lhi = std::log10(f_hi);
+  for (int i = 0; i < n_pts; ++i) {
+    const double f = std::pow(10.0, llo + (lhi - llo) * i / (n_pts - 1));
+    const double z = std::abs(input_impedance(p, f));
+    if (z > best.z_ohm) best = {f, z};
+  }
+  return best;
+}
+
+PdnNodes build_pdn_netlist(spice::Circuit& c, const PdnParams& p, double v_supply) {
+  using spice::kGround;
+  const spice::NodeId vrm = c.node("vrm");
+  c.add_vsource("vvrm", vrm, kGround, spice::Waveform::dc(v_supply));
+
+  spice::NodeId prev = vrm;
+  int idx = 0;
+  auto add_stage = [&](const LadderStage& s, const std::string& tag) {
+    const spice::NodeId mid = c.node(tag + "_rl");
+    const spice::NodeId out = c.node(tag);
+    c.add_resistor("r_" + tag, prev, mid, s.r_ohm);
+    c.add_inductor("l_" + tag, mid, out, s.l_h);
+    if (s.decap_f > 0.0) {
+      const spice::NodeId dk = c.node(tag + "_decap");
+      c.add_resistor("resr_" + tag, out, dk, std::max(s.decap_esr_ohm, 1e-9));
+      c.add_capacitor("c_" + tag, dk, kGround, s.decap_f);
+    }
+    prev = out;
+    ++idx;
+  };
+  add_stage(p.board, "board");
+  add_stage(p.package, "pkg");
+  add_stage(p.c4, "c4");
+
+  const spice::NodeId gmid = c.node("grid_rl");
+  const spice::NodeId die = c.node("die");
+  c.add_resistor("r_grid", prev, gmid, p.grid_r_ohm);
+  c.add_inductor("l_grid", gmid, die, p.grid_l_h);
+  const spice::NodeId dk = c.node("die_decap");
+  c.add_resistor("resr_die", die, dk, std::max(p.ondie_decap_esr_ohm, 1e-9));
+  c.add_capacitor("c_die", dk, kGround, p.ondie_decap_f);
+  return {vrm, die};
+}
+
+std::vector<double> simulate_die_voltage(const PdnParams& p, double v_supply,
+                                         const std::vector<double>& i_load, double dt) {
+  require(i_load.size() >= 2, "simulate_die_voltage: need at least two samples");
+  require(dt > 0.0, "simulate_die_voltage: dt must be positive");
+
+  spice::Circuit c;
+  const PdnNodes nodes = build_pdn_netlist(c, p, v_supply);
+  // Zero-order-hold playback of the sampled load current.
+  const std::vector<double> samples = i_load;
+  c.add_isource("iload", nodes.die, spice::kGround,
+                spice::Waveform::custom([samples, dt](double t) {
+                  const double k = t / dt;
+                  const std::size_t i =
+                      std::min(static_cast<std::size_t>(std::max(k, 0.0)), samples.size() - 1);
+                  return samples[i];
+                }));
+
+  spice::TranSpec spec;
+  spec.tstop = static_cast<double>(i_load.size() - 1) * dt;
+  spec.dt = dt;
+  spec.record_nodes = {nodes.die};
+  const spice::TranResult res = spice::transient(c, spec);
+  return res.at(nodes.die);
+}
+
+double VrmModel::efficiency(double i_a) const {
+  require(i_a > 0.0, "VrmModel::efficiency: current must be positive");
+  const double p_out = vout_v * i_a;
+  return p_out / (p_out + p_fixed_w + r_loss_ohm * i_a * i_a + v_drop_v * i_a);
+}
+
+double VrmModel::input_power(double p_out_w) const {
+  require(p_out_w > 0.0, "VrmModel::input_power: power must be positive");
+  return p_out_w / efficiency(p_out_w / vout_v);
+}
+
+VrmModel VrmModel::board_vrm(double vout_v, double i_rated_a) {
+  require(vout_v > 0.0 && i_rated_a > 0.0, "VrmModel::board_vrm: invalid rating");
+  // Peak efficiency improves with output voltage (lower conversion ratio,
+  // lower current for the same power): ~86% for 1 V-class rails, ~92% at 3.3 V.
+  const double eta_peak = std::min(0.92, 0.84 + 0.025 * vout_v);
+  const double loss_rated = vout_v * i_rated_a * (1.0 - eta_peak) / eta_peak;
+  VrmModel m;
+  m.vout_v = vout_v;
+  m.p_fixed_w = 0.20 * loss_rated;
+  m.r_loss_ohm = 0.50 * loss_rated / (i_rated_a * i_rated_a);
+  m.v_drop_v = 0.30 * loss_rated / i_rated_a;
+  return m;
+}
+
+}  // namespace ivory::pdn

@@ -1,0 +1,93 @@
+// Power-delivery-network (PDN) models: off-chip VRM, board/package RLC
+// ladder, C4 bump array, and the on-chip grid.
+//
+// The PDS of Fig. 1 in the paper is: Vsrc -> off-chip VRM -> board PDN ->
+// package PDN -> C4 bumps -> on-chip grid (-> IVRs) -> cores. This module
+// provides (a) parameter sets for each stage (defaults follow the GPUVolt
+// equivalent circuit the case study uses), (b) a closed-form input impedance
+// Z(jw) seen from the die, (c) a netlist builder that emits the same ladder
+// into an ivory_spice Circuit for transient/AC cross-checks, and (d) a fast
+// dedicated transient solver for ladder + load-current traces.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace ivory::pdn {
+
+/// One series-RL stage of the ladder with a shunt decoupling capacitor
+/// (C + ESR) hanging off its downstream node.
+struct LadderStage {
+  double r_ohm;
+  double l_h;
+  double decap_f;
+  double decap_esr_ohm;
+};
+
+struct PdnParams {
+  LadderStage board;    ///< PCB spreading + bulk capacitors.
+  LadderStage package;  ///< Package planes + package caps.
+  LadderStage c4;       ///< Bump array (decap field lives on-die).
+  double grid_r_ohm;    ///< On-chip grid effective series resistance.
+  double grid_l_h;      ///< On-chip grid effective inductance.
+  double ondie_decap_f;
+  double ondie_decap_esr_ohm;
+
+  /// Values matching the GPUVolt-style equivalent circuit used by the
+  /// paper's GPU case study (board-level 3.3 V supply, four-SM die).
+  static PdnParams gpuvolt_default();
+
+  /// Effective parameters when the die is split into `n` independent power
+  /// domains: each domain sees the full board/package (shared, scaled by the
+  /// per-domain current share) but only a 1/n slice of grid and decap.
+  PdnParams per_domain(int n) const;
+};
+
+/// Impedance seen from the die looking back toward the VRM (VRM modeled as
+/// ideal at DC: short). Closed form; cross-checked against spice AC analysis
+/// in the tests.
+std::complex<double> input_impedance(const PdnParams& p, double f_hz);
+
+/// Peak of |Z| over a log frequency sweep (the classic PDN resonance).
+struct ImpedancePeak {
+  double f_hz;
+  double z_ohm;
+};
+ImpedancePeak find_impedance_peak(const PdnParams& p, double f_lo, double f_hi, int n_pts = 400);
+
+/// Adds the ladder to `c`. Returns the die-side node; the VRM side is driven
+/// by an ideal source of `v_supply`.
+struct PdnNodes {
+  spice::NodeId vrm;
+  spice::NodeId die;
+};
+PdnNodes build_pdn_netlist(spice::Circuit& c, const PdnParams& p, double v_supply);
+
+/// Fast dedicated transient: die voltage response to a load-current trace
+/// i_load[k] sampled at dt, supply held at v_supply. Uses trapezoidal
+/// integration on the ladder state (validated against ivory_spice).
+std::vector<double> simulate_die_voltage(const PdnParams& p, double v_supply,
+                                         const std::vector<double>& i_load, double dt);
+
+/// Off-chip voltage-regulator-module model: conversion efficiency versus load,
+/// eta(i) = p_out / (p_out + p_fixed + r_loss * i^2 + v_drop * i).
+struct VrmModel {
+  double vout_v;
+  double p_fixed_w;    ///< Gate drive + controller, load independent.
+  double r_loss_ohm;   ///< Lumped conduction loss coefficient.
+  double v_drop_v;     ///< Switching-loss coefficient expressed as a drop.
+
+  /// Efficiency at output current `i_a` (0 < eta < 1; throws on i <= 0).
+  double efficiency(double i_a) const;
+  /// Input power required to deliver `p_out_w`.
+  double input_power(double p_out_w) const;
+
+  /// A 12 V -> `vout` board VRM with parameters tuned so that peak
+  /// efficiency lands near the published ~90% (high vout) / ~85% (1 V-class
+  /// output at tens of amps) figures.
+  static VrmModel board_vrm(double vout_v, double i_rated_a);
+};
+
+}  // namespace ivory::pdn

@@ -1,0 +1,93 @@
+// Circuit analyses: DC operating point, transient, AC sweep.
+//
+// All three assemble modified-nodal-analysis (MNA) systems over the Circuit
+// netlist: node voltages plus one branch-current unknown per voltage source
+// and per inductor. The transient integrator supports backward Euler and
+// trapezoidal companion models, lands steps exactly on announced switch edges,
+// takes a backward-Euler step right after any switch event (avoids the
+// classic trapezoidal ringing at discontinuities), and reuses the LU
+// factorization while the step size and every switch state are unchanged.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace ivory::spice {
+
+struct DcResult {
+  std::vector<double> node_v;   ///< Indexed by NodeId (ground included, = 0).
+  std::vector<double> vsource_i;  ///< Current through each voltage source.
+  std::vector<double> inductor_i; ///< Current through each inductor.
+
+  double voltage(NodeId n) const { return node_v.at(static_cast<std::size_t>(n)); }
+};
+
+/// Computes the DC operating point: capacitors open, inductors short,
+/// time-controlled switches at their t = 0 state, voltage-controlled switches
+/// resolved by fixed-point iteration.
+DcResult dc_operating_point(const Circuit& circuit);
+
+enum class Integrator { BackwardEuler, Trapezoidal };
+
+struct TranSpec {
+  double tstop = 0.0;
+  double dt = 0.0;
+  Integrator method = Integrator::Trapezoidal;
+  /// Start from capacitor/inductor initial conditions instead of the DC
+  /// operating point (SPICE "UIC").
+  bool use_ic = false;
+  /// Record every n-th accepted step (1 = all).
+  int record_every = 1;
+  /// Nodes to record; empty = all non-ground nodes.
+  std::vector<NodeId> record_nodes;
+  /// Shorten steps to land exactly on switch edges announced via
+  /// Switch::next_edge.
+  bool align_to_switch_edges = true;
+
+  /// Adaptive (delta-V limited) stepping: the step grows while the largest
+  /// node-voltage change per step stays under `dv_max_v` and shrinks when it
+  /// is exceeded (the offending step is retried). `dt` is the initial and
+  /// minimum step; `dt_max` caps growth (0 = 100x dt). Switch events still
+  /// land exactly and reset the step. Useful for circuits with long quiet
+  /// stretches between fast transients (PDN droop studies).
+  bool adaptive = false;
+  double dv_max_v = 1e-3;
+  double dt_max = 0.0;
+};
+
+struct TranResult {
+  std::vector<double> time;
+  std::vector<NodeId> nodes;                 ///< Recorded nodes, in order.
+  std::vector<std::vector<double>> voltages; ///< voltages[i] is the trace of nodes[i].
+
+  std::size_t steps_taken = 0;
+  std::size_t lu_factorizations = 0;
+
+  /// Trace of a recorded node; throws InvalidParameter if it was not recorded.
+  const std::vector<double>& at(NodeId n) const;
+};
+
+TranResult transient(const Circuit& circuit, const TranSpec& spec);
+
+struct AcResult {
+  std::vector<double> freq_hz;
+  std::vector<NodeId> nodes;
+  /// response[i][k]: complex voltage of nodes[i] at freq_hz[k] for unit
+  /// (or ac_magnitude-scaled) excitation.
+  std::vector<std::vector<std::complex<double>>> response;
+
+  const std::vector<std::complex<double>>& at(NodeId n) const;
+};
+
+/// Small-signal sweep: sources contribute their ac_magnitude; switches are
+/// frozen at their DC-operating-point state.
+AcResult ac_analysis(const Circuit& circuit, const std::vector<double>& freqs_hz,
+                     std::vector<NodeId> record_nodes = {});
+
+/// Log-spaced frequency grid helper: n points from lo to hi inclusive.
+std::vector<double> log_frequencies(double lo_hz, double hi_hz, int n);
+
+}  // namespace ivory::spice

@@ -1,0 +1,29 @@
+// Minimal SPICE-netlist text parser.
+//
+// Supports the element cards Ivory's tests and examples use:
+//
+//   R<name> n+ n- value
+//   C<name> n+ n- value [IC=v0]
+//   L<name> n+ n- value [IC=i0]
+//   V<name> n+ n- DC value | PULSE(v1 v2 td tr tf pw per) |
+//                 SIN(off amp freq [td [phase]]) | PWL(t1 v1 t2 v2 ...)
+//   I<name> n+ n- (same source forms)
+//
+// '*' comment lines, blank lines, and a trailing '.end' are accepted. Values
+// take SPICE suffixes (f p n u m k meg g t). Parsing is case-insensitive.
+#pragma once
+
+#include <string>
+
+#include "spice/circuit.hpp"
+
+namespace ivory::spice {
+
+/// Parses `text` into a Circuit; throws StructuralError with a line number on
+/// malformed input.
+Circuit parse_netlist(const std::string& text);
+
+/// Parses a single SPICE value literal like "4.7k" or "100meg".
+double parse_spice_value(const std::string& token);
+
+}  // namespace ivory::spice

@@ -1,0 +1,13 @@
+// Umbrella header for the ivory_spice circuit-simulation substrate.
+//
+// The simulator exists for two reasons: it is the in-repo stand-in for the
+// Cadence/HSPICE baseline the paper validates against (Figs. 4, 7, 8, 9), and
+// it lets the test suite verify Ivory's analytical models against actual
+// switch-level circuit behaviour rather than against themselves.
+#pragma once
+
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+#include "spice/parser.hpp"
+#include "spice/phase_clock.hpp"
+#include "spice/waveform.hpp"

@@ -1,0 +1,59 @@
+#include "spice/waveform.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ivory::spice {
+
+Waveform Waveform::dc(double value) {
+  return Waveform([value](double) { return value; });
+}
+
+Waveform Waveform::pulse(double v1, double v2, double delay_s, double rise_s, double fall_s,
+                         double width_s, double period_s) {
+  require(period_s > 0.0, "Waveform::pulse: period must be positive");
+  require(rise_s >= 0.0 && fall_s >= 0.0 && width_s >= 0.0,
+          "Waveform::pulse: rise/fall/width must be non-negative");
+  require(rise_s + width_s + fall_s <= period_s,
+          "Waveform::pulse: rise + width + fall must fit in the period");
+  return Waveform([=](double t) {
+    if (t < delay_s) return v1;
+    const double tp = std::fmod(t - delay_s, period_s);
+    if (tp < rise_s) return rise_s > 0.0 ? v1 + (v2 - v1) * tp / rise_s : v2;
+    if (tp < rise_s + width_s) return v2;
+    if (tp < rise_s + width_s + fall_s)
+      return fall_s > 0.0 ? v2 + (v1 - v2) * (tp - rise_s - width_s) / fall_s : v1;
+    return v1;
+  });
+}
+
+Waveform Waveform::sine(double offset, double amplitude, double freq_hz, double delay_s,
+                        double phase_rad) {
+  require(freq_hz > 0.0, "Waveform::sine: frequency must be positive");
+  return Waveform([=](double t) {
+    if (t < delay_s) return offset;
+    return offset + amplitude * std::sin(2.0 * pi * freq_hz * (t - delay_s) + phase_rad);
+  });
+}
+
+Waveform Waveform::pwl(std::vector<std::pair<double, double>> points) {
+  require(!points.empty(), "Waveform::pwl: need at least one point");
+  std::vector<double> xs, ys;
+  xs.reserve(points.size());
+  ys.reserve(points.size());
+  for (const auto& [t, v] : points) {
+    xs.push_back(t);
+    ys.push_back(v);
+  }
+  PiecewiseLinear f(std::move(xs), std::move(ys));
+  return Waveform([f = std::move(f)](double t) { return f(t); });
+}
+
+Waveform Waveform::custom(std::function<double(double)> fn) {
+  require(static_cast<bool>(fn), "Waveform::custom: function must be callable");
+  return Waveform(std::move(fn));
+}
+
+}  // namespace ivory::spice

@@ -1,0 +1,55 @@
+// Source waveforms for the circuit simulator.
+//
+// Supports the SPICE source shapes Ivory needs (DC, PULSE, SIN, PWL) plus an
+// escape hatch for arbitrary time functions (used to inject workload power
+// traces as load currents).
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/interp.hpp"
+
+namespace ivory::spice {
+
+class Waveform {
+ public:
+  /// Constant value.
+  static Waveform dc(double value);
+
+  /// SPICE PULSE(v1 v2 td tr tf pw period). Periodic after td.
+  static Waveform pulse(double v1, double v2, double delay_s, double rise_s, double fall_s,
+                        double width_s, double period_s);
+
+  /// offset + amplitude * sin(2*pi*freq*(t - delay) + phase), 0 phase ramp
+  /// before delay (value = offset).
+  static Waveform sine(double offset, double amplitude, double freq_hz, double delay_s = 0.0,
+                       double phase_rad = 0.0);
+
+  /// Piecewise-linear through the given (t, v) points; clamps outside.
+  static Waveform pwl(std::vector<std::pair<double, double>> points);
+
+  /// Arbitrary function of time (not parseable from netlists).
+  static Waveform custom(std::function<double(double)> fn);
+
+  Waveform() : Waveform(dc(0.0)) {}
+
+  double operator()(double t) const { return eval_(t); }
+
+  /// Small-signal magnitude used by AC analysis (0 for sources that are
+  /// DC-only in AC runs).
+  double ac_magnitude() const { return ac_mag_; }
+  Waveform& set_ac_magnitude(double mag) {
+    ac_mag_ = mag;
+    return *this;
+  }
+
+ private:
+  explicit Waveform(std::function<double(double)> fn) : eval_(std::move(fn)) {}
+
+  std::function<double(double)> eval_;
+  double ac_mag_ = 0.0;
+};
+
+}  // namespace ivory::spice

@@ -1,0 +1,114 @@
+// Technology database: CMOS switches, capacitors, and inductors.
+//
+// Ivory ships a "comprehensively-compiled database containing MOSFET and
+// capacitor data from 130 nm down to 10 nm, based on ITRS and PTM models, as
+// well as surface-mounted-inductor and integrated-inductor data" (paper
+// Section 3.1). The numbers compiled here follow the same published scaling
+// trends (see DESIGN.md, substitutions table): on-resistance x width stays
+// within a 2x band across nodes while gate capacitance per width shrinks,
+// MOS-capacitor density grows roughly with 1/L_gate, and deep-trench
+// capacitors add an order of magnitude of density at low bottom-plate
+// parasitics.
+//
+// Conventions: SI units throughout. "Per width" quantities are per metre of
+// gate width; callers usually work in ohm*um and fF/um, which the accessors
+// below also expose for readability.
+#pragma once
+
+#include <string>
+
+#include "common/polynomial.hpp"
+
+namespace ivory::tech {
+
+/// Process nodes covered by the built-in database.
+enum class Node { n130, n90, n65, n45, n32, n22, n14, n10 };
+
+/// Feature size in nanometres.
+double node_nm(Node node);
+
+/// Parses "45" / "45nm" style strings; throws InvalidParameter on unknown
+/// nodes.
+Node node_from_string(const std::string& name);
+
+const char* node_name(Node node);
+
+/// Device flavour: thin-oxide core devices vs. thick-oxide IO devices that
+/// tolerate the 3.3 V board input directly.
+enum class DeviceClass { Core, Io };
+
+/// Power-switch (MOSFET) parameters for one node and device class.
+struct SwitchTech {
+  double vdd_nom_v;        ///< Nominal gate drive / core supply [V].
+  double vmax_v;           ///< Maximum tolerable terminal voltage [V].
+  double ron_w_ohm_m;      ///< On-resistance x width [ohm * m].
+  double cgate_per_w_f_m;  ///< Gate capacitance per width [F/m].
+  double cdrain_per_w_f_m; ///< Drain/source junction capacitance per width [F/m].
+  double ileak_per_w_a_m;  ///< Off-state leakage per width [A/m].
+  double area_per_w_m;     ///< Layout pitch: die area per width [m^2/m].
+
+  /// On resistance of a switch of width `w_m` metres [ohm].
+  double ron(double w_m) const { return ron_w_ohm_m / w_m; }
+  /// Gate capacitance of a switch of width `w_m` [F].
+  double cgate(double w_m) const { return cgate_per_w_f_m * w_m; }
+  double cdrain(double w_m) const { return cdrain_per_w_f_m * w_m; }
+  double leakage(double w_m) const { return ileak_per_w_a_m * w_m; }
+  double area(double w_m) const { return area_per_w_m * w_m; }
+
+  /// Figure of merit Ron * Cgate [s] — drives the achievable switching
+  /// frequency at a given conduction loss.
+  double fom_s() const { return ron_w_ohm_m * cgate_per_w_f_m; }
+};
+
+const SwitchTech& switch_tech(Node node, DeviceClass cls);
+
+/// On-die (or on-package) capacitor technologies.
+enum class CapKind { MosCap, Mim, DeepTrench };
+
+const char* cap_kind_name(CapKind kind);
+
+struct CapacitorTech {
+  double density_f_m2;       ///< Capacitance per die area [F/m^2].
+  double bottom_plate_ratio; ///< Parasitic bottom-plate cap / main cap.
+  double leak_a_per_f;       ///< Leakage current per farad at nominal bias [A/F].
+  double esr_ohm_f;          ///< Effective series resistance x capacitance [ohm * F].
+  double vmax_v;             ///< Voltage rating [V].
+
+  double area(double c_f) const { return c_f / density_f_m2; }
+  double esr(double c_f) const { return esr_ohm_f / c_f; }
+};
+
+CapacitorTech capacitor_tech(Node node, CapKind kind);
+
+/// Inductor technologies: discrete surface-mount parts, inductors integrated
+/// on a silicon interposer (2.5D, Sturcken-style coupled magnetic core), and
+/// on-die magnetic-film inductors (Gardner-style).
+enum class InductorKind { SurfaceMount, IntegratedInterposer, MagneticFilm };
+
+const char* inductor_kind_name(InductorKind kind);
+
+struct InductorTech {
+  double density_h_m2;   ///< Inductance per area [H/m^2].
+  double dcr_ohm_per_h;  ///< DC resistance per henry [ohm/H].
+  double f_knee_hz;      ///< Frequency where inductance starts to roll off.
+  bool on_die;           ///< Consumes die area (true) or board/package area.
+  /// Polynomial in x = log10(f / f_knee) giving the inductance multiplier
+  /// for f > f_knee; clamped to [floor, 1].
+  Polynomial rolloff;
+  double rolloff_floor;  ///< Lowest inductance multiplier at high frequency.
+
+  /// Effective inductance of a DC value l0 at frequency f (paper:
+  /// "polynomial-fitted frequency-dependent coefficient of the inductance").
+  double inductance_at(double l0_h, double f_hz) const;
+  /// Series resistance of an inductor of DC value l0 [ohm].
+  double dcr(double l0_h) const { return dcr_ohm_per_h * l0_h; }
+  double area(double l0_h) const { return l0_h / density_h_m2; }
+};
+
+const InductorTech& inductor_tech(InductorKind kind);
+
+/// All nodes in the database, largest feature size first.
+constexpr Node kAllNodes[] = {Node::n130, Node::n90, Node::n65, Node::n45,
+                              Node::n32,  Node::n22, Node::n14, Node::n10};
+
+}  // namespace ivory::tech

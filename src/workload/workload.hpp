@@ -1,0 +1,119 @@
+// Workload substrate: GPU power traces, digital load model, DVFS schedules.
+//
+// The paper's case study feeds Ivory with per-SM power traces from GPGPU-Sim
+// + GPUWattch runs of CUDA SDK / Rodinia benchmarks. Those simulators are
+// not reproducible here, so this module synthesizes per-SM traces with the
+// published second-order characteristics instead (see DESIGN.md,
+// substitutions): each benchmark is a seeded Ornstein-Uhlenbeck process
+// around its mean power, modulated by kernel-phase oscillation and sprinkled
+// with exponentially-decaying activity spikes. SMs within one benchmark run
+// share a correlated common component (SIMT kernels launch across SMs
+// together).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/interp.hpp"
+
+namespace ivory::workload {
+
+/// A sampled power (or current) trace.
+struct PowerTrace {
+  double dt_s = 0.0;
+  std::vector<double> watts;
+
+  double duration() const { return dt_s * static_cast<double>(watts.size()); }
+  double average() const;
+  double peak() const;
+  /// Sum of several traces sample-by-sample (must share dt and length).
+  static PowerTrace sum(const std::vector<PowerTrace>& traces);
+};
+
+/// The Rodinia / CUDA-SDK benchmarks the paper's Figs. 10-11 sweep.
+enum class Benchmark { BACKP, BFS2, CFD, HOTSP, KMN, LUD, MGST };
+
+constexpr Benchmark kAllBenchmarks[] = {Benchmark::BACKP, Benchmark::BFS2, Benchmark::CFD,
+                                        Benchmark::HOTSP, Benchmark::KMN,  Benchmark::LUD,
+                                        Benchmark::MGST};
+
+const char* benchmark_name(Benchmark b);
+
+/// Statistical profile of one benchmark's per-SM power behaviour.
+struct TraceStyle {
+  double noise_frac;      ///< OU-noise standard deviation / mean.
+  double noise_tau_s;     ///< OU correlation time.
+  double phase_depth;     ///< Kernel-phase modulation amplitude / mean.
+  double phase_period_s;  ///< Kernel-phase period.
+  double spike_rate_hz;   ///< Activity-spike arrival rate.
+  double spike_frac;      ///< Spike amplitude / mean.
+  double sm_correlation;  ///< Correlation of the noise across SMs, in [0, 1].
+};
+
+TraceStyle benchmark_style(Benchmark b);
+
+/// Generates per-SM power traces for `n_sm` SMs running `b`, each with
+/// average power `sm_avg_w`, deterministically from `seed`.
+std::vector<PowerTrace> generate_gpu_traces(Benchmark b, int n_sm, double sm_avg_w,
+                                            double duration_s, double dt_s,
+                                            std::uint64_t seed = 1);
+
+/// Writes per-SM traces as CSV: a header line, then `time_s,sm0_w,sm1_w,...`
+/// rows. All traces must share dt and length.
+void write_traces_csv(std::ostream& out, const std::vector<PowerTrace>& traces);
+
+/// Reads traces written by write_traces_csv (or produced by an external
+/// power simulator in the same shape). The sample interval is inferred from
+/// the time column and must be uniform to within 1%.
+std::vector<PowerTrace> read_traces_csv(std::istream& in);
+
+/// Digital-logic load: converts power at nominal conditions into current at
+/// arbitrary voltage/frequency/activity (paper Section 3.2: "we also embed
+/// the dynamic and leakage current model of a typical digital logic load to
+/// handle DVFS natively").
+struct DigitalLoadModel {
+  double v_nom_v;
+  double f_nom_hz;
+  double p_dyn_nom_w;   ///< Dynamic power at (v_nom, f_nom, activity 1).
+  double p_leak_nom_w;  ///< Leakage power at v_nom.
+
+  /// Dynamic power scales as activity * (v/vn)^2 * (f/fn); leakage grows
+  /// super-linearly with voltage (DIBL), modeled as (v/vn)^3.
+  double power(double v, double f_hz, double activity) const;
+  /// Load current drawn at the supply: power / v.
+  double current(double v, double f_hz, double activity) const;
+
+  /// Builds a model from a total average power split into dynamic + leakage.
+  static DigitalLoadModel from_average_power(double p_avg_w, double v_nom_v, double f_nom_hz,
+                                             double leak_fraction = 0.2);
+};
+
+/// Converts a power trace recorded at nominal voltage into the current trace
+/// drawn from supply voltage `v` (activity inferred per sample).
+std::vector<double> power_to_current(const PowerTrace& trace, const DigitalLoadModel& load,
+                                     double v);
+
+/// A DVFS schedule: piecewise-constant (v, f) setpoints over time.
+struct DvfsPoint {
+  double t_s;
+  double v_v;
+  double f_hz;
+};
+
+class DvfsSchedule {
+ public:
+  /// Points must have strictly increasing times, first at t = 0.
+  explicit DvfsSchedule(std::vector<DvfsPoint> points);
+
+  const DvfsPoint& at(double t) const;
+  const std::vector<DvfsPoint>& points() const { return points_; }
+
+  /// Constant (v, f) forever.
+  static DvfsSchedule constant(double v, double f_hz);
+
+ private:
+  std::vector<DvfsPoint> points_;
+};
+
+}  // namespace ivory::workload

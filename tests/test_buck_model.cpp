@@ -1,0 +1,147 @@
+// Tests for the buck static model: duty, ripple, interleaving, losses,
+// frequency-dependent inductance.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/buck_model.hpp"
+
+namespace ivory::core {
+namespace {
+
+// A FIVR-class 4-phase buck: 5 nH interposer inductors at 100 MHz.
+BuckDesign reference_design() {
+  BuckDesign d;
+  d.node = tech::Node::n32;
+  d.inductor = tech::InductorKind::IntegratedInterposer;
+  d.cap_kind = tech::CapKind::DeepTrench;
+  d.l_per_phase_h = 5e-9;
+  d.f_sw_hz = 100e6;
+  d.n_phases = 4;
+  d.w_high_m = 0.08;
+  d.w_low_m = 0.10;
+  d.c_out_f = 1e-6;
+  return d;
+}
+
+TEST(BuckModel, DutyNearIdealRatio) {
+  const BuckAnalysis a = analyze_buck(reference_design(), 3.3, 1.0, 10.0);
+  EXPECT_NEAR(a.duty, 1.0 / 3.3, 0.05);
+  EXPECT_GT(a.duty, 1.0 / 3.3);  // Conduction drops push duty slightly up.
+}
+
+TEST(BuckModel, PowerBookkeepingCloses) {
+  const BuckAnalysis a = analyze_buck(reference_design(), 3.3, 1.0, 10.0);
+  const double losses = a.p_conduction_w + a.p_gate_w + a.p_overlap_w + a.p_coss_w +
+                        a.p_deadtime_w + a.p_peripheral_w;
+  EXPECT_NEAR(a.p_in_w, a.p_out_w + losses, 1e-9 * a.p_in_w);
+  EXPECT_GT(a.efficiency, 0.5);
+  EXPECT_LT(a.efficiency, 1.0);
+}
+
+TEST(BuckModel, EfficiencyVsFrequencyHasInteriorPeak) {
+  BuckDesign d = reference_design();
+  double eff_first = 0.0, eff_last = 0.0, best = 0.0;
+  bool first = true;
+  for (double f = 2e6; f <= 2e9; f *= 1.5) {
+    d.f_sw_hz = f;
+    const double eff = analyze_buck(d, 3.3, 1.0, 10.0).efficiency;
+    if (first) {
+      eff_first = eff;
+      first = false;
+    }
+    eff_last = eff;
+    best = std::max(best, eff);
+  }
+  EXPECT_GT(best, eff_first);
+  EXPECT_GT(best, eff_last);
+}
+
+TEST(BuckModel, RippleCurrentScalesInverselyWithLandF) {
+  BuckDesign d = reference_design();
+  const BuckAnalysis a1 = analyze_buck(d, 3.3, 1.0, 10.0);
+  d.f_sw_hz *= 2.0;
+  const BuckAnalysis a2 = analyze_buck(d, 3.3, 1.0, 10.0);
+  // Doubling f at least halves the current ripple (inductance rolloff can
+  // only make the baseline ripple larger, not smaller).
+  EXPECT_LT(a2.i_ripple_phase_a, a1.i_ripple_phase_a / 1.6);
+}
+
+TEST(BuckModel, InterleavingCancellation) {
+  EXPECT_NEAR(interleave_cancellation(1, 0.3), 1.0, 1e-12);
+  // N*D integer: perfect cancellation.
+  EXPECT_NEAR(interleave_cancellation(2, 0.5), 0.0, 1e-12);
+  EXPECT_NEAR(interleave_cancellation(4, 0.25), 0.0, 1e-12);
+  // Always within [0, 1].
+  for (int n : {2, 3, 4, 8, 16}) {
+    for (double duty : {0.1, 0.3, 0.33, 0.47, 0.7, 0.9}) {
+      const double k = interleave_cancellation(n, duty);
+      EXPECT_GE(k, 0.0);
+      EXPECT_LE(k, 1.0);
+    }
+  }
+  EXPECT_THROW(interleave_cancellation(0, 0.3), InvalidParameter);
+  EXPECT_THROW(interleave_cancellation(2, 0.0), InvalidParameter);
+}
+
+TEST(BuckModel, MorePhasesReduceOutputRipple) {
+  BuckDesign d = reference_design();
+  d.n_phases = 1;
+  const BuckAnalysis a1 = analyze_buck(d, 3.3, 1.0, 10.0);
+  d.n_phases = 4;
+  const BuckAnalysis a4 = analyze_buck(d, 3.3, 1.0, 10.0);
+  EXPECT_LT(a4.ripple_pp_v, a1.ripple_pp_v);
+}
+
+TEST(BuckModel, InductanceRollsOffAtHighFrequency) {
+  BuckDesign d = reference_design();
+  d.f_sw_hz = 20e6;  // Below the interposer-inductor knee (50 MHz).
+  const BuckAnalysis lo = analyze_buck(d, 3.3, 1.0, 10.0);
+  EXPECT_NEAR(lo.l_eff_h, d.l_per_phase_h, 1e-15);
+  d.f_sw_hz = 1e9;  // Well above the knee.
+  const BuckAnalysis hi = analyze_buck(d, 3.3, 1.0, 10.0);
+  EXPECT_LT(hi.l_eff_h, d.l_per_phase_h);
+}
+
+TEST(BuckModel, ConductionLossGrowsQuadratically) {
+  const BuckDesign d = reference_design();
+  const BuckAnalysis a1 = analyze_buck(d, 3.3, 1.0, 5.0);
+  const BuckAnalysis a2 = analyze_buck(d, 3.3, 1.0, 10.0);
+  // DC term dominates at these currents: ~4x conduction loss for 2x current.
+  EXPECT_GT(a2.p_conduction_w, 3.0 * a1.p_conduction_w);
+}
+
+TEST(BuckModel, ShallowerConversionIsMoreEfficient) {
+  const BuckDesign d = reference_design();
+  const double eff_deep = analyze_buck(d, 3.3, 1.0, 10.0).efficiency;
+  const double eff_shallow = analyze_buck(d, 1.8, 1.0, 10.0).efficiency;
+  EXPECT_GT(eff_shallow, eff_deep);
+}
+
+TEST(BuckModel, OnDieInductorCountsAsDieArea) {
+  BuckDesign d = reference_design();
+  d.inductor = tech::InductorKind::MagneticFilm;
+  const BuckAnalysis on_die = analyze_buck(d, 3.3, 1.0, 10.0);
+  EXPECT_NEAR(on_die.area_offdie_m2, 0.0, 1e-18);
+  d.inductor = tech::InductorKind::IntegratedInterposer;
+  const BuckAnalysis off_die = analyze_buck(d, 3.3, 1.0, 10.0);
+  EXPECT_GT(off_die.area_offdie_m2, 0.0);
+  EXPECT_LT(off_die.area_die_m2, on_die.area_die_m2);
+}
+
+TEST(BuckModel, InvalidInputsThrow) {
+  const BuckDesign good = reference_design();
+  EXPECT_THROW(analyze_buck(good, 1.0, 1.0, 10.0), InvalidParameter);  // vout == vin.
+  EXPECT_THROW(analyze_buck(good, 3.3, 1.0, 0.0), InvalidParameter);
+  BuckDesign d = good;
+  d.w_high_m = 0.0;
+  EXPECT_THROW(analyze_buck(d, 3.3, 1.0, 10.0), InvalidParameter);
+  d = good;
+  d.c_out_f = 0.0;
+  EXPECT_THROW(analyze_buck(d, 3.3, 1.0, 10.0), InvalidParameter);
+  d = good;
+  d.n_phases = 0;
+  EXPECT_THROW(analyze_buck(d, 3.3, 1.0, 10.0), InvalidParameter);
+}
+
+}  // namespace
+}  // namespace ivory::core

@@ -1,0 +1,258 @@
+// Tests for the cycle-by-cycle + in-cycle dynamic models and the noise
+// transfer functions, including consistency with the static model and
+// cross-validation against switch-level simulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+#include "common/units.hpp"
+#include "core/dynamic.hpp"
+#include "spice/spice.hpp"
+
+namespace ivory::core {
+namespace {
+
+// A 3:1 ladder with ~6 mohm output impedance: regulates 10-15 A loads to
+// 1.0 V from its 1.1 V ideal output with headroom to spare.
+ScDesign sc_design() {
+  ScDesign d;
+  d.node = tech::Node::n32;
+  d.cap_kind = tech::CapKind::DeepTrench;
+  d.n = 3;
+  d.m = 1;
+  d.family = ScFamily::Ladder;
+  d.c_fly_f = 4e-6;
+  d.c_out_f = 1e-6;
+  d.g_tot_s = 15000.0;
+  d.f_sw_hz = 80e6;
+  d.n_interleave = 8;
+  return d;
+}
+
+std::vector<double> constant_load(double i, std::size_t n) { return std::vector<double>(n, i); }
+
+TEST(ScCycle, FreeRunningSettlesToStaticPrediction) {
+  const ScDesign d = sc_design();
+  const double i_load = 10.0;
+  const double dt = 2e-9;
+  const auto wave =
+      sc_cycle_response(d, 3.3, 0.0, constant_load(i_load, 20000), dt, ScControl::FreeRunning);
+  const ScAnalysis a = analyze_sc(d, 3.3, i_load);
+  // Average the settled tail.
+  std::vector<double> tail(wave.v.end() - 5000, wave.v.end());
+  EXPECT_NEAR(mean(tail), a.vout_v, 0.02);
+}
+
+TEST(ScCycle, LowerBoundControlRegulatesToVref) {
+  const ScDesign d = sc_design();
+  const double vref = 1.0;
+  const auto wave = sc_cycle_response(d, 3.3, vref, constant_load(10.0, 20000), 2e-9);
+  std::vector<double> tail(wave.v.end() - 5000, wave.v.end());
+  EXPECT_NEAR(mean(tail), vref, 0.02);
+}
+
+TEST(ScCycle, LoadStepCausesDroopThenRecovery) {
+  const ScDesign d = sc_design();
+  std::vector<double> load(40000, 5.0);
+  for (std::size_t k = 20000; k < load.size(); ++k) load[k] = 15.0;
+  const auto wave = sc_cycle_response(d, 3.3, 1.0, load, 1e-9);
+  // Settled means before and shortly after the step.
+  std::vector<double> pre(wave.v.begin() + 15000, wave.v.begin() + 20000);
+  std::vector<double> post(wave.v.begin() + 20000, wave.v.begin() + 24000);
+  std::vector<double> late(wave.v.end() - 5000, wave.v.end());
+  EXPECT_LT(min_value(post), mean(pre) - 0.003);  // Visible droop.
+  EXPECT_NEAR(mean(late), 1.0, 0.03);             // Recovered to regulation.
+}
+
+TEST(ScCycle, MoreInterleavingSmoothsRipple) {
+  ScDesign d = sc_design();
+  d.n_interleave = 1;
+  const auto w1 = sc_cycle_response(d, 3.3, 1.0, constant_load(10.0, 30000), 1e-9);
+  d.n_interleave = 16;
+  const auto w16 = sc_cycle_response(d, 3.3, 1.0, constant_load(10.0, 30000), 1e-9);
+  std::vector<double> tail1(w1.v.end() - 10000, w1.v.end());
+  std::vector<double> tail16(w16.v.end() - 10000, w16.v.end());
+  EXPECT_LT(peak_to_peak(tail16), peak_to_peak(tail1));
+}
+
+// The headline validation (paper Fig. 9a): the cycle-by-cycle model tracks a
+// switch-level transient of the same converter.
+TEST(ScCycle, MatchesSpiceTransientSteadyState) {
+  ScDesign d = sc_design();
+  d.n_interleave = 1;
+  d.f_sw_hz = 20e6;
+  d.c_fly_f = 100e-9;
+  d.c_out_f = 50e-9;
+  d.g_tot_s = 200.0;
+  const double i_load = 0.3;  // Moderate droop: the lumped model's regime.
+
+  // Ivory model, free-running.
+  const double dt = 1e-9;
+  const auto wave = sc_cycle_response(d, 3.3, 0.0, constant_load(i_load, 8000), dt,
+                                      ScControl::FreeRunning);
+  std::vector<double> model_tail(wave.v.end() - 2000, wave.v.end());
+
+  // Switch-level simulation of the identical design.
+  const ScTopology topo = make_topology(d.n, d.m, d.family);
+  const ChargeVectors cv = charge_vectors(topo);
+  spice::Circuit ckt;
+  const ScNetlistResult nodes =
+      build_sc_netlist(ckt, topo, cv, 3.3, d.c_fly_f, d.g_tot_s, d.f_sw_hz, d.c_out_f);
+  ckt.add_isource("iload", nodes.vout, spice::kGround, spice::Waveform::dc(i_load));
+  spice::TranSpec spec;
+  spec.tstop = 8e-6;
+  spec.dt = 1e-9;
+  spec.use_ic = true;
+  spec.method = spice::Integrator::BackwardEuler;
+  spec.record_nodes = {nodes.vout};
+  const spice::TranResult res = spice::transient(ckt, spec);
+  const std::vector<double>& vsim = res.at(nodes.vout);
+  std::vector<double> sim_tail(vsim.end() - 2000, vsim.end());
+
+  EXPECT_NEAR(mean(model_tail), mean(sim_tail), 0.03);
+}
+
+TEST(BuckCycle, SettlesToVref) {
+  BuckDesign d;
+  d.node = tech::Node::n32;
+  d.l_per_phase_h = 10e-9;
+  d.f_sw_hz = 50e6;
+  d.n_phases = 4;
+  d.w_high_m = 0.3;
+  d.w_low_m = 0.4;
+  d.c_out_f = 1e-6;
+  const auto wave = buck_cycle_response(d, 3.3, 1.0, constant_load(10.0, 50000), 2e-9);
+  std::vector<double> tail(wave.v.end() - 10000, wave.v.end());
+  EXPECT_NEAR(mean(tail), 1.0, 0.02);
+  EXPECT_LT(peak_to_peak(tail), 0.05);  // Stable, not limit-cycling wildly.
+}
+
+TEST(BuckCycle, RecoversFromLoadStep) {
+  BuckDesign d;
+  d.node = tech::Node::n32;
+  d.l_per_phase_h = 10e-9;
+  d.f_sw_hz = 50e6;
+  d.n_phases = 4;
+  d.w_high_m = 0.3;
+  d.w_low_m = 0.4;
+  d.c_out_f = 1e-6;
+  std::vector<double> load(100000, 5.0);
+  for (std::size_t k = 50000; k < load.size(); ++k) load[k] = 12.0;
+  const auto wave = buck_cycle_response(d, 3.3, 1.0, load, 2e-9);
+  std::vector<double> post(wave.v.begin() + 50000, wave.v.begin() + 60000);
+  std::vector<double> late(wave.v.end() - 10000, wave.v.end());
+  EXPECT_LT(min_value(post), 1.0 - 0.005);
+  EXPECT_NEAR(mean(late), 1.0, 0.02);
+}
+
+TEST(LdoCycle, RegulatesWithBoundedRipple) {
+  LdoDesign d;
+  d.node = tech::Node::n32;
+  d.w_pass_m = 0.2;
+  d.n_bits = 8;
+  d.f_clk_hz = 200e6;
+  d.c_out_f = 0.5e-6;
+  const auto wave = ldo_cycle_response(d, 3.3, 1.0, constant_load(5.0, 40000), 1e-9);
+  std::vector<double> tail(wave.v.end() - 10000, wave.v.end());
+  EXPECT_NEAR(mean(tail), 1.0, 0.02);
+  EXPECT_LT(peak_to_peak(tail), 0.05);
+}
+
+TEST(InCycle, ConstantCurrentProducesNoDeviation) {
+  const auto dev = in_cycle_response(constant_load(5.0, 1000), 1e-9, 20e-9, 1e-6);
+  for (double v : dev) EXPECT_NEAR(v, 0.0, 1e-15);
+}
+
+TEST(InCycle, HighFrequencyToneIntegratesOnCapacitance) {
+  // A tone far above the cycle rate: dv ~ (I/(w*C)) in amplitude.
+  const double dt = 0.1e-9, f_noise = 500e6, amp = 2.0, c = 100e-9;
+  std::vector<double> load(20000);
+  for (std::size_t k = 0; k < load.size(); ++k)
+    load[k] = 10.0 + amp * std::sin(2.0 * pi * f_noise * static_cast<double>(k) * dt);
+  const auto dev = in_cycle_response(load, dt, 100e-9, c);
+  const double expect = amp / (2.0 * pi * f_noise * c);
+  EXPECT_NEAR(0.5 * peak_to_peak(dev), expect, 0.25 * expect);
+}
+
+TEST(InCycle, DeviationBoundedWithinCycle) {
+  // Integration resets each cycle: a slow drift does not accumulate.
+  const double dt = 1e-9;
+  std::vector<double> load(10000);
+  for (std::size_t k = 0; k < load.size(); ++k) load[k] = 0.001 * static_cast<double>(k);
+  const auto dev = in_cycle_response(load, dt, 50e-9, 1e-7);
+  EXPECT_LT(max_value(dev) - min_value(dev), 0.05);
+}
+
+TEST(GridNoise, ZeroForConstantCurrent) {
+  const auto noise = grid_noise(constant_load(3.0, 100), 1e-9, 1e-3, 1e-12);
+  for (double v : noise) EXPECT_NEAR(v, 0.0, 1e-15);
+}
+
+TEST(GridNoise, StepProducesLdiDtSpike) {
+  std::vector<double> load(100, 1.0);
+  for (std::size_t k = 50; k < load.size(); ++k) load[k] = 2.0;
+  const double dt = 1e-9, l = 10e-12;
+  const auto noise = grid_noise(load, dt, 0.0, l);
+  // di/dt = 1 A / 1 ns at the step: spike = -L di/dt = -10 mV.
+  EXPECT_NEAR(min_value(noise), -l * 1.0 / dt, 1e-6);
+}
+
+TEST(Combined, IsSumOfCycleAndInCycle) {
+  const ScDesign d = sc_design();
+  std::vector<double> load(5000);
+  for (std::size_t k = 0; k < load.size(); ++k)
+    load[k] = 10.0 + std::sin(0.01 * static_cast<double>(k));
+  const double dt = 1e-9;
+  const auto combined = sc_combined_response(d, 3.3, 1.0, load, dt);
+  const auto cycle = sc_cycle_response(d, 3.3, 1.0, load, dt);
+  const auto hf = in_cycle_response(
+      load, dt, 1.0 / (d.f_sw_hz * static_cast<double>(d.n_interleave)), sc_output_hf_cap(d));
+  for (std::size_t k = 0; k < load.size(); k += 500)
+    EXPECT_NEAR(combined.v[k], cycle.v[k] + hf[k], 1e-12);
+}
+
+TEST(NoiseTransfer, AboveSwitchingFrequencyLoopVanishes) {
+  NoiseTransfer nt;
+  nt.f_sw_hz = 100e6;
+  nt.c_hf_f = 1e-9;
+  nt.r_out_ohm = 0.1;
+  nt.ctrl_gain = 20.0;
+  // At multiples of f_sw the ZOH nulls: H equals F_L exactly (paper eq. 5).
+  for (double f : {1e8, 2e8, 5e8}) {
+    const double h = std::abs(nt.rejection(f));
+    const double fl = std::abs(nt.f_load(f));
+    EXPECT_NEAR(h, fl, 0.05 * fl) << "f=" << f;
+  }
+}
+
+TEST(NoiseTransfer, BelowSwitchingFrequencyLoopSuppresses) {
+  NoiseTransfer nt;
+  nt.f_sw_hz = 100e6;
+  nt.c_hf_f = 1e-9;
+  nt.r_out_ohm = 0.1;
+  nt.ctrl_gain = 20.0;
+  const double f = 1e6;  // Two decades below f_sw.
+  EXPECT_LT(std::abs(nt.rejection(f)), std::abs(nt.f_load(f)) / 5.0);
+}
+
+TEST(NoiseTransfer, ZohShape) {
+  NoiseTransfer nt;
+  nt.f_sw_hz = 100e6;
+  // |F_sw| -> 1 at low frequency, 0 at exact multiples of f_sw.
+  EXPECT_NEAR(std::abs(nt.f_zoh(1e3)), 1.0, 1e-4);
+  EXPECT_NEAR(std::abs(nt.f_zoh(100e6)), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(nt.f_zoh(200e6)), 0.0, 1e-9);
+}
+
+TEST(Dynamic, InvalidInputsThrow) {
+  const ScDesign d = sc_design();
+  EXPECT_THROW(sc_cycle_response(d, 3.3, 1.0, {}, 1e-9), InvalidParameter);
+  EXPECT_THROW(sc_cycle_response(d, 3.3, 1.0, {1.0, 1.0}, 0.0), InvalidParameter);
+  EXPECT_THROW(in_cycle_response({1.0, 1.0}, 1e-9, 0.0, 1e-9), InvalidParameter);
+  EXPECT_THROW(grid_noise({1.0, 1.0}, 1e-9, -1.0, 0.0), InvalidParameter);
+}
+
+}  // namespace
+}  // namespace ivory::core

@@ -1,0 +1,95 @@
+// Unit tests for piecewise-linear interpolation and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/interp.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+
+namespace ivory {
+namespace {
+
+TEST(PiecewiseLinear, InterpolatesBetweenBreakpoints) {
+  const PiecewiseLinear f({0.0, 1.0, 2.0}, {0.0, 10.0, 0.0});
+  EXPECT_NEAR(f(0.5), 5.0, 1e-12);
+  EXPECT_NEAR(f(1.0), 10.0, 1e-12);
+  EXPECT_NEAR(f(1.75), 2.5, 1e-12);
+}
+
+TEST(PiecewiseLinear, ClampsOutsideRange) {
+  const PiecewiseLinear f({1.0, 2.0}, {3.0, 7.0});
+  EXPECT_NEAR(f(0.0), 3.0, 1e-15);
+  EXPECT_NEAR(f(5.0), 7.0, 1e-15);
+}
+
+TEST(PiecewiseLinear, NonIncreasingXThrows) {
+  EXPECT_THROW(PiecewiseLinear({0.0, 0.0}, {1.0, 2.0}), InvalidParameter);
+  EXPECT_THROW(PiecewiseLinear({1.0, 0.5}, {1.0, 2.0}), InvalidParameter);
+}
+
+TEST(PiecewiseLinear, IntegralExactForTriangle) {
+  const PiecewiseLinear f({0.0, 1.0, 2.0}, {0.0, 1.0, 0.0});
+  EXPECT_NEAR(f.integral(0.0, 2.0), 1.0, 1e-12);
+  EXPECT_NEAR(f.integral(0.0, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(f.integral(0.5, 1.5), 0.75, 1e-12);
+}
+
+TEST(PiecewiseLinear, IntegralReversedBoundsNegates) {
+  const PiecewiseLinear f({0.0, 1.0}, {2.0, 2.0});
+  EXPECT_NEAR(f.integral(1.0, 0.0), -2.0, 1e-12);
+}
+
+TEST(PiecewiseLinear, IntegralIncludesClampedRegions) {
+  const PiecewiseLinear f({0.0, 1.0}, {1.0, 1.0});
+  EXPECT_NEAR(f.integral(-1.0, 2.0), 3.0, 1e-12);
+}
+
+TEST(SampleUniform, EndpointsIncluded) {
+  const PiecewiseLinear f({0.0, 1.0}, {0.0, 1.0});
+  const std::vector<double> s = sample_uniform(f, 0.0, 1.0, 5);
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_NEAR(s.front(), 0.0, 1e-15);
+  EXPECT_NEAR(s.back(), 1.0, 1e-15);
+  EXPECT_NEAR(s[2], 0.5, 1e-12);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Pcg32 a(42, 7), b(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u32() == b.next_u32()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInRange) {
+  Pcg32 r(123);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Pcg32 r(99);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(r.normal());
+  EXPECT_NEAR(mean(xs), 0.0, 0.03);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Pcg32 r(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (r.bernoulli(0.25)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace ivory

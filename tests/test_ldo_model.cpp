@@ -1,0 +1,94 @@
+// Tests for the digital LDO model.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/ldo_model.hpp"
+
+namespace ivory::core {
+namespace {
+
+LdoDesign reference_design() {
+  LdoDesign d;
+  d.node = tech::Node::n32;
+  d.cap_kind = tech::CapKind::DeepTrench;
+  d.w_pass_m = 0.2;
+  d.n_bits = 8;
+  d.f_clk_hz = 200e6;
+  d.c_out_f = 0.5e-6;
+  d.i_quiescent_a = 0.01;
+  return d;
+}
+
+TEST(LdoModel, EfficiencyPinnedByVoltageRatio) {
+  const LdoAnalysis a = analyze_ldo(reference_design(), 3.3, 1.0, 5.0);
+  // eta = (vout/vin) * eta_I with eta_I near 99%+.
+  EXPECT_LT(a.efficiency, 1.0 / 3.3);
+  EXPECT_GT(a.efficiency, 0.95 / 3.3);
+  EXPECT_GT(a.current_efficiency, 0.99);
+}
+
+TEST(LdoModel, HighCurrentEfficiencyRegime) {
+  // "Current efficiency close to 99% can usually be achieved ... for
+  // moderate load current": conversion efficiency approaches vout/vin.
+  const LdoAnalysis a = analyze_ldo(reference_design(), 1.8, 1.5, 5.0);
+  EXPECT_NEAR(a.efficiency, 1.5 / 1.8, 0.02);
+}
+
+TEST(LdoModel, PowerBookkeepingCloses) {
+  const LdoAnalysis a = analyze_ldo(reference_design(), 3.3, 1.0, 5.0);
+  EXPECT_NEAR(a.p_in_w, a.p_out_w + a.p_pass_w + a.p_quiescent_w + a.p_peripheral_w,
+              1e-9 * a.p_in_w);
+  // The pass loss is exactly the headroom times the current.
+  EXPECT_NEAR(a.p_pass_w, (3.3 - 1.0) * 5.0, 1e-9);
+}
+
+TEST(LdoModel, DropoutViolationThrows) {
+  LdoDesign d = reference_design();
+  d.w_pass_m = 1e-4;  // Tiny pass device: huge fully-on drop.
+  EXPECT_THROW(analyze_ldo(d, 1.1, 1.0, 5.0), InvalidParameter);
+}
+
+TEST(LdoModel, RippleScalesWithClockAndCap) {
+  LdoDesign d = reference_design();
+  const LdoAnalysis a1 = analyze_ldo(d, 3.3, 1.0, 5.0);
+  d.f_clk_hz *= 4.0;
+  const LdoAnalysis a2 = analyze_ldo(d, 3.3, 1.0, 5.0);
+  EXPECT_NEAR(a2.ripple_pp_v, a1.ripple_pp_v / 4.0, 1e-9);
+  d = reference_design();
+  d.c_out_f *= 2.0;
+  const LdoAnalysis a3 = analyze_ldo(d, 3.3, 1.0, 5.0);
+  EXPECT_NEAR(a3.ripple_pp_v, a1.ripple_pp_v / 2.0, 1e-9);
+}
+
+TEST(LdoModel, MoreBitsFinerRipple) {
+  LdoDesign d = reference_design();
+  d.n_bits = 4;
+  const LdoAnalysis coarse = analyze_ldo(d, 3.3, 1.0, 5.0);
+  d.n_bits = 10;
+  const LdoAnalysis fine = analyze_ldo(d, 3.3, 1.0, 5.0);
+  EXPECT_LT(fine.ripple_pp_v, coarse.ripple_pp_v);
+}
+
+TEST(LdoModel, QuiescentCurrentDegradesLightLoadEfficiency) {
+  LdoDesign d = reference_design();
+  d.i_quiescent_a = 0.0;
+  const double eff_ideal = analyze_ldo(d, 3.3, 1.0, 0.1).efficiency;
+  d.i_quiescent_a = 0.05;
+  const double eff_biased = analyze_ldo(d, 3.3, 1.0, 0.1).efficiency;
+  EXPECT_LT(eff_biased, eff_ideal * 0.85);
+}
+
+TEST(LdoModel, InvalidInputsThrow) {
+  const LdoDesign good = reference_design();
+  EXPECT_THROW(analyze_ldo(good, 1.0, 1.0, 5.0), InvalidParameter);
+  EXPECT_THROW(analyze_ldo(good, 3.3, 1.0, 0.0), InvalidParameter);
+  LdoDesign d = good;
+  d.n_bits = 0;
+  EXPECT_THROW(analyze_ldo(d, 3.3, 1.0, 5.0), InvalidParameter);
+  d = good;
+  d.c_out_f = 0.0;
+  EXPECT_THROW(analyze_ldo(d, 3.3, 1.0, 5.0), InvalidParameter);
+}
+
+}  // namespace
+}  // namespace ivory::core

@@ -1,0 +1,118 @@
+// Unit tests for the dense matrix, LU, and least-squares solvers.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+
+namespace ivory {
+namespace {
+
+TEST(Matrix, IdentitySolveReturnsRhs) {
+  const auto eye = Matrix<double>::identity(4);
+  const std::vector<double> b{1.0, -2.0, 3.5, 0.0};
+  EXPECT_EQ(solve_linear(eye, b), b);
+}
+
+TEST(Matrix, SolvesKnown3x3System) {
+  Matrix<double> a(3, 3);
+  a(0, 0) = 2;  a(0, 1) = 1;  a(0, 2) = -1;
+  a(1, 0) = -3; a(1, 1) = -1; a(1, 2) = 2;
+  a(2, 0) = -2; a(2, 1) = 1;  a(2, 2) = 2;
+  const std::vector<double> b{8.0, -11.0, -3.0};
+  const std::vector<double> x = solve_linear(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(x[2], -1.0, 1e-12);
+}
+
+TEST(Matrix, PivotingHandlesZeroDiagonal) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 0.0;
+  const std::vector<double> x = solve_linear(a, {3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-14);
+  EXPECT_NEAR(x[1], 3.0, 1e-14);
+}
+
+TEST(Matrix, SingularMatrixThrows) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0;
+  EXPECT_THROW(solve_linear(a, {1.0, 2.0}), NumericalError);
+}
+
+TEST(Matrix, FactorizationReusableAcrossRhs) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 4.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0;
+  const LuFactorization<double> lu(a);
+  const std::vector<double> x1 = lu.solve({1.0, 2.0});
+  const std::vector<double> x2 = lu.solve({0.0, 1.0});
+  EXPECT_NEAR(4.0 * x1[0] + x1[1], 1.0, 1e-12);
+  EXPECT_NEAR(x1[0] + 3.0 * x1[1], 2.0, 1e-12);
+  EXPECT_NEAR(4.0 * x2[0] + x2[1], 0.0, 1e-12);
+  EXPECT_NEAR(x2[0] + 3.0 * x2[1], 1.0, 1e-12);
+}
+
+TEST(Matrix, ComplexSolve) {
+  using C = std::complex<double>;
+  Matrix<C> a(2, 2);
+  a(0, 0) = C(1, 1); a(0, 1) = C(0, 0);
+  a(1, 0) = C(0, 0); a(1, 1) = C(0, 2);
+  const std::vector<C> x = solve_linear(a, {C(2, 0), C(4, 0)});
+  EXPECT_NEAR(std::abs(x[0] - C(1, -1)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - C(0, -2)), 0.0, 1e-12);
+}
+
+TEST(Matrix, MulMatchesHandComputation) {
+  Matrix<double> a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const std::vector<double> y = a.mul(std::vector<double>{1.0, 0.0, -1.0});
+  EXPECT_NEAR(y[0], -2.0, 1e-15);
+  EXPECT_NEAR(y[1], -2.0, 1e-15);
+}
+
+TEST(LeastSquares, ExactSystemRecovered) {
+  // Overdetermined but consistent: y = 2x + 1 at four points.
+  Matrix<double> a(4, 2);
+  std::vector<double> b(4);
+  const double xs[] = {0.0, 1.0, 2.0, 3.0};
+  for (int i = 0; i < 4; ++i) {
+    a(static_cast<std::size_t>(i), 0) = 1.0;
+    a(static_cast<std::size_t>(i), 1) = xs[i];
+    b[static_cast<std::size_t>(i)] = 2.0 * xs[i] + 1.0;
+  }
+  const std::vector<double> coef = solve_least_squares(a, b);
+  EXPECT_NEAR(coef[0], 1.0, 1e-10);
+  EXPECT_NEAR(coef[1], 2.0, 1e-10);
+  EXPECT_NEAR(residual_norm(a, coef, b), 0.0, 1e-10);
+}
+
+TEST(LeastSquares, MinimizesResidualOfInconsistentSystem) {
+  // x = argmin ||Ax - b||: for A = [1;1;1], b = (0, 3, 6), x = mean = 3.
+  Matrix<double> a(3, 1);
+  a(0, 0) = a(1, 0) = a(2, 0) = 1.0;
+  const std::vector<double> x = solve_least_squares(a, {0.0, 3.0, 6.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+}
+
+TEST(LeastSquares, RankDeficientThrows) {
+  Matrix<double> a(3, 2);
+  for (int i = 0; i < 3; ++i) {
+    a(static_cast<std::size_t>(i), 0) = 1.0;
+    a(static_cast<std::size_t>(i), 1) = 2.0;  // Column 2 = 2 * column 1.
+  }
+  EXPECT_THROW(solve_least_squares(a, {1.0, 1.0, 1.0}), NumericalError);
+}
+
+TEST(Matrix, DimensionMismatchThrows) {
+  const auto a = Matrix<double>::identity(2);
+  EXPECT_THROW(a.mul(std::vector<double>{1.0}), InvalidParameter);
+  EXPECT_THROW(solve_linear(a, {1.0, 2.0, 3.0}), InvalidParameter);
+}
+
+}  // namespace
+}  // namespace ivory

@@ -1,0 +1,65 @@
+// Unit tests for scalar optimization and root finding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/optimize.hpp"
+
+namespace ivory {
+namespace {
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+  const ScalarOptimum r = golden_minimize([](double x) { return (x - 3.0) * (x - 3.0) + 2.0; },
+                                          -10.0, 10.0);
+  EXPECT_NEAR(r.x, 3.0, 1e-6);
+  EXPECT_NEAR(r.f, 2.0, 1e-10);
+}
+
+TEST(GoldenSection, MaximizeNegatesCorrectly) {
+  const ScalarOptimum r = golden_maximize([](double x) { return -(x - 1.0) * (x - 1.0) + 5.0; },
+                                          -4.0, 4.0);
+  EXPECT_NEAR(r.x, 1.0, 1e-6);
+  EXPECT_NEAR(r.f, 5.0, 1e-10);
+}
+
+TEST(GoldenSection, MinimumAtBoundary) {
+  const ScalarOptimum r = golden_minimize([](double x) { return x; }, 2.0, 5.0);
+  EXPECT_NEAR(r.x, 2.0, 1e-5);
+}
+
+TEST(GoldenSection, InvalidIntervalThrows) {
+  EXPECT_THROW(golden_minimize([](double x) { return x; }, 1.0, 1.0), InvalidParameter);
+}
+
+TEST(LogGrid, FindsMinimumOfLossShapedCurve) {
+  // Classic converter loss curve: a/f + b*f has its minimum at sqrt(a/b).
+  const double a = 1e7, b = 1e-7;
+  const ScalarOptimum r =
+      log_grid_minimize([&](double f) { return a / f + b * f; }, 1e3, 1e12, 128);
+  EXPECT_NEAR(r.x / std::sqrt(a / b), 1.0, 1e-3);
+}
+
+TEST(LogGrid, HandlesPlateaus) {
+  // Piecewise-constant objective: should return a point on the low plateau.
+  const ScalarOptimum r =
+      log_grid_minimize([](double x) { return x < 1e6 ? 2.0 : 1.0; }, 1e3, 1e9, 64);
+  EXPECT_NEAR(r.f, 1.0, 1e-12);
+  EXPECT_GE(r.x, 1e6);
+}
+
+TEST(Bisect, FindsSqrtTwo) {
+  const double root = bisect_root([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bisect, EndpointRootReturnedExactly) {
+  EXPECT_EQ(bisect_root([](double x) { return x; }, 0.0, 1.0), 0.0);
+}
+
+TEST(Bisect, NoSignChangeThrows) {
+  EXPECT_THROW(bisect_root([](double x) { return x * x + 1.0; }, -1.0, 1.0), InvalidParameter);
+}
+
+}  // namespace
+}  // namespace ivory

@@ -1,0 +1,185 @@
+// Tests for the design-space-exploration optimizer.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include <numeric>
+
+#include "core/optimizer.hpp"
+
+namespace ivory::core {
+namespace {
+
+TEST(Ratios, CandidatesAreCoprimeAndFeasible) {
+  const auto ratios = candidate_sc_ratios(3.3, 1.0);
+  ASSERT_FALSE(ratios.empty());
+  for (const auto& [n, m] : ratios) {
+    EXPECT_GE(3.3 * m / n, 1.0 * 1.02) << n << ":" << m;
+    EXPECT_EQ(std::gcd(n, m), 1);
+  }
+  // Sorted by ideal output ascending: the first entry wastes the least.
+  for (std::size_t i = 1; i < ratios.size(); ++i) {
+    EXPECT_LE(static_cast<double>(ratios[i - 1].second) / ratios[i - 1].first,
+              static_cast<double>(ratios[i].second) / ratios[i].first);
+  }
+  // 3:1 must be the tightest ratio for 3.3 -> 1.0.
+  EXPECT_EQ(ratios.front().first, 3);
+  EXPECT_EQ(ratios.front().second, 1);
+}
+
+TEST(Ratios, InvalidInputThrows) {
+  EXPECT_THROW(candidate_sc_ratios(1.0, 1.0), InvalidParameter);
+}
+
+TEST(Optimizer, ScMeetsConstraintsOnCaseStudy) {
+  const SystemParams sys;  // Paper Table-1 defaults.
+  const DseResult r = optimize_topology(sys, IvrTopology::SwitchedCapacitor, 1);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.efficiency, 0.72);  // Paper: 80.3%.
+  EXPECT_LT(r.efficiency, 0.90);
+  EXPECT_LE(r.area_m2, sys.area_max_m2 * 1.05);
+  EXPECT_LE(r.ripple_pp_v, sys.ripple_max_v * 1.05);
+  // The chosen ratio should be the tight 3:1.
+  EXPECT_EQ(r.sc.n, 3);
+  EXPECT_EQ(r.sc.m, 1);
+  EXPECT_GT(r.n_interleave, 4);  // Heavily interleaved (paper: 32).
+}
+
+TEST(Optimizer, ScWinsTheGpuCaseStudy) {
+  // Paper Section 5.2: the 3:1 SC beats buck and LDO under the 20 mm^2
+  // on-chip budget.
+  const SystemParams sys;
+  const std::vector<DseResult> all = explore(sys);
+  ASSERT_FALSE(all.empty());
+  EXPECT_TRUE(all.front().feasible);
+  EXPECT_EQ(all.front().topology, IvrTopology::SwitchedCapacitor);
+}
+
+TEST(Optimizer, LdoEfficiencyPinnedByRatio) {
+  const SystemParams sys;
+  const DseResult r = optimize_topology(sys, IvrTopology::LinearRegulator, 1);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.efficiency, 1.0 / 3.3, 0.02);
+}
+
+TEST(Optimizer, BuckFeasibleButBelowSc) {
+  const SystemParams sys;
+  const DseResult buck = optimize_topology(sys, IvrTopology::Buck, 1);
+  const DseResult sc = optimize_topology(sys, IvrTopology::SwitchedCapacitor, 1);
+  ASSERT_TRUE(buck.feasible);
+  ASSERT_TRUE(sc.feasible);
+  EXPECT_LT(buck.efficiency, sc.efficiency);
+  EXPECT_GT(buck.efficiency, 1.0 / 3.3);  // But clearly better than an LDO.
+}
+
+TEST(Optimizer, EfficiencyMonotonicInAreaBudget) {
+  SystemParams sys;
+  sys.area_max_m2 = 8e-6;
+  const double eff_small = optimize_topology(sys, IvrTopology::SwitchedCapacitor, 1).efficiency;
+  sys.area_max_m2 = 40e-6;
+  const double eff_large = optimize_topology(sys, IvrTopology::SwitchedCapacitor, 1).efficiency;
+  EXPECT_GE(eff_large, eff_small - 1e-3);
+}
+
+TEST(Optimizer, DistributionCostsLittleEfficiency) {
+  // Paper Table 2: 80.3 / 80.2 / 80.0 across 1/2/4 distributed IVRs.
+  const SystemParams sys;
+  const DseResult d1 = optimize_topology(sys, IvrTopology::SwitchedCapacitor, 1);
+  const DseResult d4 = optimize_topology(sys, IvrTopology::SwitchedCapacitor, 4);
+  ASSERT_TRUE(d1.feasible);
+  ASSERT_TRUE(d4.feasible);
+  // Near-flat: splitting the converter four ways moves efficiency by at most
+  // a few points in either direction (search-grid granularity included).
+  EXPECT_NEAR(d4.efficiency, d1.efficiency, 0.03);
+}
+
+TEST(Optimizer, ExploreCoversAllTopologiesAndCounts) {
+  const SystemParams sys;
+  const std::vector<DseResult> all = explore(sys);
+  EXPECT_EQ(all.size(), 9u);  // 3 topologies x {1, 2, 4}.
+  int sc = 0, buck = 0, ldo = 0;
+  for (const DseResult& r : all) {
+    if (r.topology == IvrTopology::SwitchedCapacitor) ++sc;
+    if (r.topology == IvrTopology::Buck) ++buck;
+    if (r.topology == IvrTopology::LinearRegulator) ++ldo;
+  }
+  EXPECT_EQ(sc, 3);
+  EXPECT_EQ(buck, 3);
+  EXPECT_EQ(ldo, 3);
+}
+
+TEST(Optimizer, NoiseTargetPrefersLowRipple) {
+  const SystemParams sys;
+  const std::vector<DseResult> by_noise = explore(sys, OptTarget::Noise);
+  for (std::size_t i = 1; i < by_noise.size(); ++i) {
+    if (!by_noise[i].feasible) break;
+    EXPECT_GE(by_noise[i].ripple_pp_v, by_noise[i - 1].ripple_pp_v - 1e-12);
+  }
+}
+
+TEST(Optimizer, AreaTargetPrefersSmall) {
+  const SystemParams sys;
+  const std::vector<DseResult> by_area = explore(sys, OptTarget::Area);
+  for (std::size_t i = 1; i < by_area.size(); ++i) {
+    if (!by_area[i].feasible) break;
+    EXPECT_GE(by_area[i].area_m2, by_area[i - 1].area_m2 - 1e-12);
+  }
+}
+
+TEST(Optimizer, BestDesignReturnsTop) {
+  const SystemParams sys;
+  const DseResult b = best_design(sys);
+  EXPECT_TRUE(b.feasible);
+  EXPECT_GT(b.efficiency, 0.7);
+}
+
+TEST(Optimizer, InvalidSystemThrows) {
+  SystemParams sys;
+  sys.area_max_m2 = 0.0;
+  EXPECT_THROW(explore(sys), InvalidParameter);
+  sys = SystemParams{};
+  sys.vout_v = 4.0;  // Above vin.
+  EXPECT_THROW(explore(sys), InvalidParameter);
+  sys = SystemParams{};
+  EXPECT_THROW(optimize_topology(sys, IvrTopology::Buck, 9), InvalidParameter);
+}
+
+
+TEST(TwoStage, CascadeFeasibleButBelowSingleStageHere) {
+  // For the 3.3:1 GPU case a single tight-ratio SC wins; the hierarchical
+  // cascade must still produce a consistent, feasible design.
+  const SystemParams sys;
+  const TwoStageResult two = optimize_two_stage(sys, 4);
+  ASSERT_TRUE(two.feasible);
+  EXPECT_GT(two.v_mid_v, sys.vout_v);
+  EXPECT_LT(two.v_mid_v, sys.vin_v);
+  EXPECT_NEAR(two.efficiency, two.stage1.efficiency * two.stage2.efficiency, 1e-12);
+  EXPECT_GT(two.efficiency, 0.5);
+  const DseResult single = optimize_topology(sys, IvrTopology::SwitchedCapacitor, 4);
+  EXPECT_GT(single.efficiency, two.efficiency);
+}
+
+TEST(TwoStage, StagesRespectAreaSplit) {
+  const SystemParams sys;
+  const TwoStageResult two = optimize_two_stage(sys, 2);
+  ASSERT_TRUE(two.feasible);
+  EXPECT_LE(two.stage1.area_m2, sys.area_max_m2 * two.area_frac_stage1 * 1.1);
+  EXPECT_LE(two.stage2.area_m2, sys.area_max_m2 * (1.0 - two.area_frac_stage1) * 1.1);
+}
+
+TEST(TwoStage, InvalidDistributionThrows) {
+  const SystemParams sys;
+  EXPECT_THROW(optimize_two_stage(sys, 99), InvalidParameter);
+}
+
+TEST(Blocks, PeripheralBudgetScalesWithFrequencyAndPhases) {
+  const PeripheralBudget a = peripheral_budget(tech::Node::n32, 50e6, 2, 1e-9, 1.0);
+  const PeripheralBudget b = peripheral_budget(tech::Node::n32, 100e6, 2, 1e-9, 1.0);
+  EXPECT_NEAR(b.total_power(), 2.0 * a.total_power(), 1e-9);
+  const PeripheralBudget c = peripheral_budget(tech::Node::n32, 50e6, 8, 1e-9, 1.0);
+  EXPECT_GT(c.total_power(), a.total_power());
+  EXPECT_GT(c.area_m2, a.area_m2);
+  EXPECT_THROW(peripheral_budget(tech::Node::n32, 0.0, 2, 1e-9, 1.0), InvalidParameter);
+}
+
+}  // namespace
+}  // namespace ivory::core

@@ -1,0 +1,66 @@
+// Unit tests for polynomial evaluation and least-squares fitting.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/polynomial.hpp"
+
+namespace ivory {
+namespace {
+
+TEST(Polynomial, HornerEvaluation) {
+  const Polynomial p({1.0, -2.0, 3.0});  // 1 - 2x + 3x^2
+  EXPECT_NEAR(p(0.0), 1.0, 1e-15);
+  EXPECT_NEAR(p(1.0), 2.0, 1e-15);
+  EXPECT_NEAR(p(-2.0), 17.0, 1e-15);
+}
+
+TEST(Polynomial, DefaultIsZero) {
+  const Polynomial p;
+  EXPECT_NEAR(p(123.0), 0.0, 1e-15);
+}
+
+TEST(Polynomial, Derivative) {
+  const Polynomial p({5.0, 1.0, -4.0, 2.0});  // 5 + x - 4x^2 + 2x^3
+  const Polynomial d = p.derivative();        // 1 - 8x + 6x^2
+  EXPECT_NEAR(d(0.0), 1.0, 1e-15);
+  EXPECT_NEAR(d(1.0), -1.0, 1e-15);
+  EXPECT_EQ(d.degree(), 2u);
+}
+
+TEST(Polynomial, DerivativeOfConstantIsZero) {
+  const Polynomial p({7.0});
+  EXPECT_NEAR(p.derivative()(3.0), 0.0, 1e-15);
+}
+
+TEST(Polyfit, RecoversExactQuadratic) {
+  const std::vector<double> xs{-2.0, -1.0, 0.0, 1.0, 2.0, 3.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(0.5 - 1.5 * x + 0.25 * x * x);
+  const Polynomial p = polyfit(xs, ys, 2);
+  EXPECT_NEAR(p.coeffs()[0], 0.5, 1e-9);
+  EXPECT_NEAR(p.coeffs()[1], -1.5, 1e-9);
+  EXPECT_NEAR(p.coeffs()[2], 0.25, 1e-9);
+}
+
+TEST(Polyfit, SmoothsNoisyLine) {
+  // Symmetric noise about y = 2x: the fitted slope stays close to 2.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    ys.push_back(2.0 * x + ((i % 2 == 0) ? 0.1 : -0.1));
+  }
+  const Polynomial p = polyfit(xs, ys, 1);
+  EXPECT_NEAR(p.coeffs()[1], 2.0, 5e-3);
+}
+
+TEST(Polyfit, TooFewPointsThrows) {
+  EXPECT_THROW(polyfit({1.0, 2.0}, {1.0, 2.0}, 2), InvalidParameter);
+}
+
+TEST(Polyfit, MismatchedLengthsThrow) {
+  EXPECT_THROW(polyfit({1.0, 2.0, 3.0}, {1.0, 2.0}, 1), InvalidParameter);
+}
+
+}  // namespace
+}  // namespace ivory

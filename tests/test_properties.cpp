@@ -1,0 +1,239 @@
+// Property-based (parameterized) test sweeps over the model space:
+// invariants that must hold for EVERY topology, ratio, technology node,
+// capacitor kind, and operating point — not just the hand-picked cases of
+// the unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.hpp"
+#include "core/ivory.hpp"
+
+namespace ivory::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Charge-vector invariants across every supported ratio and family.
+// ---------------------------------------------------------------------------
+
+struct RatioCase {
+  int n, m;
+  ScFamily family;
+};
+
+class ChargeVectorProperty : public ::testing::TestWithParam<RatioCase> {};
+
+TEST_P(ChargeVectorProperty, ChargeConservationAndBounds) {
+  const RatioCase& rc = GetParam();
+  const ScTopology topo = make_topology(rc.n, rc.m, rc.family);
+  const ChargeVectors cv = charge_vectors(topo);
+
+  // Ideal two-phase converters conserve energy: q_in per unit output charge
+  // equals the conversion ratio m/n.
+  EXPECT_NEAR(cv.q_in, topo.ideal_ratio(), 1e-8);
+
+  // Output charge split across phases is a partition of 1.
+  EXPECT_GE(cv.q_out_phase_a, -1e-9);
+  EXPECT_LE(cv.q_out_phase_a, 1.0 + 1e-9);
+
+  // Multipliers are non-negative; internal rungs of deep ladders circulate
+  // more charge than the output delivers, but never more than n units.
+  for (double ac : cv.a_cap) {
+    EXPECT_GE(ac, -1e-12);
+    EXPECT_LE(ac, static_cast<double>(rc.n) + 1e-9);
+  }
+  for (double ar : cv.a_switch) {
+    EXPECT_GE(ar, -1e-12);
+    EXPECT_LE(ar, static_cast<double>(rc.n) + 1e-9);
+  }
+  EXPECT_GT(cv.sum_ac(), 0.0);
+  EXPECT_GT(cv.sum_ar(), 0.0);
+}
+
+TEST_P(ChargeVectorProperty, SwitchStressWithinRailAndPositive) {
+  const RatioCase& rc = GetParam();
+  const ScTopology topo = make_topology(rc.n, rc.m, rc.family);
+  for (double s : switch_stress_ratios(topo)) {
+    EXPECT_GT(s, 1e-6);
+    EXPECT_LE(s, 1.0 + 1e-9);
+  }
+}
+
+TEST_P(ChargeVectorProperty, UnloadedNetlistSettlesAtIdealRatio) {
+  const RatioCase& rc = GetParam();
+  const ScTopology topo = make_topology(rc.n, rc.m, rc.family);
+  const ChargeVectors cv = charge_vectors(topo);
+  spice::Circuit ckt;
+  const ScNetlistResult nodes = build_sc_netlist(ckt, topo, cv, 3.0, 50e-9, 5.0, 20e6, 5e-9);
+  ckt.add_isource("iload", nodes.vout, spice::kGround, spice::Waveform::dc(1e-4));
+  spice::TranSpec spec;
+  spec.tstop = 30.0 / 20e6;
+  spec.dt = 1.0 / (20e6 * 200.0);
+  spec.use_ic = true;
+  spec.method = spice::Integrator::BackwardEuler;
+  spec.record_nodes = {nodes.vout};
+  const spice::TranResult res = spice::transient(ckt, spec);
+  EXPECT_NEAR(res.at(nodes.vout).back(), 3.0 * rc.m / rc.n, 0.03)
+      << topo.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRatios, ChargeVectorProperty,
+    ::testing::Values(RatioCase{2, 1, ScFamily::SeriesParallel},
+                      RatioCase{3, 1, ScFamily::SeriesParallel},
+                      RatioCase{4, 1, ScFamily::SeriesParallel},
+                      RatioCase{5, 1, ScFamily::SeriesParallel},
+                      RatioCase{6, 1, ScFamily::SeriesParallel},
+                      RatioCase{2, 1, ScFamily::Ladder}, RatioCase{3, 1, ScFamily::Ladder},
+                      RatioCase{3, 2, ScFamily::Ladder}, RatioCase{4, 3, ScFamily::Ladder},
+                      RatioCase{5, 2, ScFamily::Ladder}, RatioCase{5, 3, ScFamily::Ladder},
+                      RatioCase{5, 4, ScFamily::Ladder}, RatioCase{6, 5, ScFamily::Ladder}),
+    [](const ::testing::TestParamInfo<RatioCase>& info) {
+      return std::to_string(info.param.n) + "to" + std::to_string(info.param.m) +
+             (info.param.family == ScFamily::Ladder ? "_ladder" : "_sp");
+    });
+
+// ---------------------------------------------------------------------------
+// SC static-model invariants across every node and capacitor kind.
+// ---------------------------------------------------------------------------
+
+class ScModelProperty
+    : public ::testing::TestWithParam<std::tuple<tech::Node, tech::CapKind>> {};
+
+TEST_P(ScModelProperty, BookkeepingAndBoundsHoldEverywhere) {
+  ScDesign d;
+  d.node = std::get<0>(GetParam());
+  d.cap_kind = std::get<1>(GetParam());
+  d.n = 2;
+  d.m = 1;
+  d.c_fly_f = 1e-6;
+  d.c_out_f = 0.2e-6;
+  d.g_tot_s = 3000.0;
+  d.f_sw_hz = 60e6;
+  d.n_interleave = 4;
+  const double vin = 1.6, i_load = 3.0;
+  const ScAnalysis a = analyze_sc(d, vin, i_load);
+
+  EXPECT_GT(a.efficiency, 0.0);
+  EXPECT_LT(a.efficiency, 1.0);
+  EXPECT_LT(a.vout_v, a.vout_ideal_v);
+  EXPECT_GT(a.p_in_w, a.p_out_w);
+  const double losses = a.p_conduction_w + a.p_gate_w + a.p_bottom_plate_w + a.p_leakage_w +
+                        a.p_peripheral_w;
+  EXPECT_NEAR(a.p_in_w - a.p_out_w, losses, 1e-9 * a.p_in_w);
+  EXPECT_GT(a.area_m2, 0.0);
+  EXPECT_GT(a.ripple_pp_v, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNodesAndCaps, ScModelProperty,
+    ::testing::Combine(::testing::ValuesIn(tech::kAllNodes),
+                       ::testing::Values(tech::CapKind::MosCap, tech::CapKind::Mim,
+                                         tech::CapKind::DeepTrench)),
+    [](const ::testing::TestParamInfo<std::tuple<tech::Node, tech::CapKind>>& info) {
+      std::string name = tech::node_name(std::get<0>(info.param));
+      name.resize(name.size() - 2);  // Strip "nm".
+      return "n" + name + "_cap" + std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+// ---------------------------------------------------------------------------
+// Buck-model invariants over an operating grid.
+// ---------------------------------------------------------------------------
+
+class BuckGridProperty
+    : public ::testing::TestWithParam<std::tuple<double /*vin*/, double /*vout frac*/,
+                                                 double /*iload*/>> {};
+
+TEST_P(BuckGridProperty, DutyAndBookkeeping) {
+  const auto [vin, vfrac, i_load] = GetParam();
+  const double vout = vfrac * vin;
+  BuckDesign d;
+  d.node = tech::Node::n32;
+  d.inductor = tech::InductorKind::IntegratedInterposer;
+  d.cap_kind = tech::CapKind::DeepTrench;
+  d.l_per_phase_h = 5e-9;
+  d.f_sw_hz = 100e6;
+  d.n_phases = 4;
+  d.w_high_m = 0.08;
+  d.w_low_m = 0.10;
+  d.c_out_f = 1e-6;
+  const BuckAnalysis a = analyze_buck(d, vin, vout, i_load);
+
+  EXPECT_GT(a.duty, vout / vin - 1e-9);  // Drops only push duty up.
+  EXPECT_LT(a.duty, 1.0);
+  EXPECT_GT(a.efficiency, 0.0);
+  EXPECT_LT(a.efficiency, 1.0);
+  const double losses = a.p_conduction_w + a.p_gate_w + a.p_overlap_w + a.p_coss_w +
+                        a.p_deadtime_w + a.p_peripheral_w;
+  EXPECT_NEAR(a.p_in_w, a.p_out_w + losses, 1e-9 * a.p_in_w);
+  EXPECT_GT(a.i_ripple_phase_a, 0.0);
+  EXPECT_LE(a.i_ripple_out_a, a.i_ripple_phase_a + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(OperatingGrid, BuckGridProperty,
+                         ::testing::Combine(::testing::Values(1.8, 2.5, 3.3),
+                                            ::testing::Values(0.3, 0.5, 0.7),
+                                            ::testing::Values(2.0, 8.0, 15.0)));
+
+// ---------------------------------------------------------------------------
+// Transient-integrator convergence order (parameterized over dt).
+// ---------------------------------------------------------------------------
+
+class TranConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(TranConvergence, RcErrorBoundedByStep) {
+  const double dt = GetParam();
+  spice::Circuit c;
+  const spice::NodeId in = c.node("in");
+  const spice::NodeId out = c.node("out");
+  const double r = 1000.0, cap = 1e-9;
+  c.add_vsource("v1", in, spice::kGround, spice::Waveform::dc(1.0));
+  c.add_resistor("r1", in, out, r);
+  c.add_capacitor("c1", out, spice::kGround, cap);
+  spice::TranSpec spec;
+  spec.tstop = 3e-6;
+  spec.dt = dt;
+  spec.use_ic = true;
+  spec.record_nodes = {out};
+  const spice::TranResult res = spice::transient(c, spec);
+  double max_err = 0.0;
+  const std::vector<double>& v = res.at(out);
+  for (std::size_t i = 0; i < res.time.size(); ++i)
+    max_err = std::max(max_err, std::fabs(v[i] - (1.0 - std::exp(-res.time[i] / (r * cap)))));
+  // Second-order trapezoidal: error well under (dt/tau)^2.
+  const double bound = 2.0 * (dt / (r * cap)) * (dt / (r * cap)) + 1e-9;
+  EXPECT_LT(max_err, bound) << "dt=" << dt;
+}
+
+INSTANTIATE_TEST_SUITE_P(StepSizes, TranConvergence,
+                         ::testing::Values(4e-9, 2e-9, 1e-9, 0.5e-9));
+
+// ---------------------------------------------------------------------------
+// Dynamic-model regulation invariant across load levels.
+// ---------------------------------------------------------------------------
+
+class ScRegulationProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScRegulationProperty, LowerBoundControlHoldsVrefAtAnyFeasibleLoad) {
+  const double i_load = GetParam();
+  ScDesign d;
+  d.node = tech::Node::n32;
+  d.cap_kind = tech::CapKind::DeepTrench;
+  d.n = 3;
+  d.m = 1;
+  d.family = ScFamily::Ladder;
+  d.c_fly_f = 4e-6;
+  d.c_out_f = 1e-6;
+  d.g_tot_s = 15000.0;
+  d.f_sw_hz = 300e6;  // Capability well beyond any of these loads.
+  d.n_interleave = 8;
+  const auto wave = sc_cycle_response(d, 3.3, 1.0, std::vector<double>(20000, i_load), 2e-9);
+  std::vector<double> tail(wave.v.end() - 5000, wave.v.end());
+  EXPECT_NEAR(mean(tail), 1.0, 0.02) << "i=" << i_load;
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadLevels, ScRegulationProperty,
+                         ::testing::Values(1.0, 5.0, 10.0, 20.0, 30.0));
+
+}  // namespace
+}  // namespace ivory::core

@@ -1,0 +1,181 @@
+// Tests for the SC static model: impedances, losses, regulation, ripple,
+// area, and technology trends.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/sc_model.hpp"
+
+namespace ivory::core {
+namespace {
+
+// A 3:1 ladder sized for the 20 A GPU case-study load: ~6 mohm output
+// impedance at 80 MHz.
+ScDesign reference_design() {
+  ScDesign d;
+  d.node = tech::Node::n32;
+  d.cap_kind = tech::CapKind::DeepTrench;
+  d.n = 3;
+  d.m = 1;
+  d.family = ScFamily::Ladder;
+  d.c_fly_f = 4e-6;
+  d.c_out_f = 1e-6;
+  d.g_tot_s = 15000.0;
+  d.f_sw_hz = 80e6;
+  d.n_interleave = 16;
+  return d;
+}
+
+// Same power train with a high design-frequency ceiling, for regulation
+// tests (the controller only ever slows down from the design frequency).
+ScDesign regulated_design() {
+  ScDesign d = reference_design();
+  d.f_sw_hz = 600e6;
+  return d;
+}
+
+TEST(ScModel, BasicSanity) {
+  const ScAnalysis a = analyze_sc(reference_design(), 3.3, 20.0);
+  EXPECT_GT(a.efficiency, 0.5);
+  EXPECT_LT(a.efficiency, 1.0);
+  EXPECT_NEAR(a.vout_ideal_v, 1.1, 1e-12);
+  EXPECT_LT(a.vout_v, a.vout_ideal_v);
+  EXPECT_GT(a.vout_v, 0.8);
+  EXPECT_GT(a.rout_ohm, 0.0);
+  EXPECT_GT(a.area_m2, 0.0);
+}
+
+TEST(ScModel, PowerBookkeepingCloses) {
+  const ScAnalysis a = analyze_sc(reference_design(), 3.3, 20.0);
+  // p_in - p_out must equal the sum of all modeled losses.
+  const double losses = a.p_conduction_w + a.p_gate_w + a.p_bottom_plate_w + a.p_leakage_w +
+                        a.p_peripheral_w;
+  EXPECT_NEAR(a.p_in_w - a.p_out_w, losses, 1e-9 * a.p_in_w);
+  EXPECT_NEAR(a.efficiency, a.p_out_w / a.p_in_w, 1e-12);
+}
+
+TEST(ScModel, ImpedanceLimitsBehave) {
+  ScDesign d = reference_design();
+  const ScAnalysis a1 = analyze_sc(d, 3.3, 20.0);
+  d.f_sw_hz *= 4.0;
+  const ScAnalysis a2 = analyze_sc(d, 3.3, 20.0);
+  // R_SSL scales as 1/f; R_FSL is frequency independent.
+  EXPECT_NEAR(a2.rssl_ohm, a1.rssl_ohm / 4.0, 1e-12);
+  EXPECT_NEAR(a2.rfsl_ohm, a1.rfsl_ohm, 1e-15);
+  EXPECT_LT(a2.rout_ohm, a1.rout_ohm);
+}
+
+TEST(ScModel, EfficiencyVsFrequencyHasInteriorPeak) {
+  // Low f: SSL conduction dominates. High f: gate drive and bottom plate
+  // dominate. A light load keeps the output alive across the whole sweep.
+  ScDesign d = reference_design();
+  double best_f = 0.0, best_eff = 0.0;
+  double eff_lo = 0.0, eff_hi = 0.0;
+  for (double f = 2e6; f <= 2e9; f *= 1.3) {
+    d.f_sw_hz = f;
+    const double eff = analyze_sc(d, 3.3, 2.0).efficiency;
+    if (f < 3e6) eff_lo = eff;
+    eff_hi = eff;
+    if (eff > best_eff) {
+      best_eff = eff;
+      best_f = f;
+    }
+  }
+  EXPECT_GT(best_eff, eff_lo);
+  EXPECT_GT(best_eff, eff_hi);
+  EXPECT_GT(best_f, 2e6);
+  EXPECT_LT(best_f, 2e9);
+}
+
+TEST(ScModel, InterleavingCutsRippleNotImpedance) {
+  ScDesign d = reference_design();
+  d.n_interleave = 1;
+  const ScAnalysis a1 = analyze_sc(d, 3.3, 20.0);
+  d.n_interleave = 8;
+  const ScAnalysis a8 = analyze_sc(d, 3.3, 20.0);
+  EXPECT_NEAR(a8.ripple_pp_v, a1.ripple_pp_v / 8.0, 1e-9);
+  EXPECT_NEAR(a8.rout_ohm, a1.rout_ohm, 1e-15);
+}
+
+TEST(ScModel, DeepTrenchBeatsMosCapAtSameCapacitance) {
+  ScDesign d = reference_design();
+  d.cap_kind = tech::CapKind::DeepTrench;
+  const ScAnalysis trench = analyze_sc(d, 3.3, 20.0);
+  d.cap_kind = tech::CapKind::MosCap;
+  const ScAnalysis mos = analyze_sc(d, 3.3, 20.0);
+  // Lower bottom-plate ratio -> less switching loss; higher density -> less area.
+  EXPECT_GT(trench.efficiency, mos.efficiency);
+  EXPECT_LT(trench.area_caps_m2, mos.area_caps_m2);
+}
+
+TEST(ScModel, TechnologyScalingImprovesEfficiency) {
+  // Compare at a stress level (0.8 V per switch) that core devices tolerate
+  // at both nodes, so the comparison isolates the Ron*Cg improvement.
+  ScDesign d = reference_design();
+  d.n = 2;
+  d.m = 1;
+  d.node = tech::Node::n32;
+  const double eff32 = analyze_sc(d, 1.6, 5.0).efficiency;
+  d.node = tech::Node::n10;
+  const double eff10 = analyze_sc(d, 1.6, 5.0).efficiency;
+  EXPECT_GT(eff10, eff32);
+}
+
+TEST(ScModel, RegulatedHitsTarget) {
+  const ScDesign d = regulated_design();
+  const ScRegulated r = analyze_sc_regulated(d, 3.3, 1.0, 20.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.analysis.vout_v, 1.0, 1e-6);
+  EXPECT_LE(r.f_sw_used_hz, d.f_sw_hz * 1.001);
+}
+
+TEST(ScModel, RegulatedEfficiencyFollowsVoutLinearly) {
+  // In the linear regime below the peak (Fig. 7), SC efficiency tracks
+  // vout/videal: regulating lower costs efficiency roughly proportionally.
+  const ScDesign d = regulated_design();
+  const ScRegulated hi = analyze_sc_regulated(d, 3.3, 0.95, 20.0);
+  const ScRegulated lo = analyze_sc_regulated(d, 3.3, 0.80, 20.0);
+  ASSERT_TRUE(hi.feasible);
+  ASSERT_TRUE(lo.feasible);
+  EXPECT_GT(hi.analysis.efficiency, lo.analysis.efficiency);
+  const double ratio = lo.analysis.efficiency / hi.analysis.efficiency;
+  EXPECT_NEAR(ratio, 0.80 / 0.95, 0.08);
+}
+
+TEST(ScModel, RegulationPastCliffInfeasible) {
+  // Asking for vout at (or above) the ideal ratio cannot be regulated.
+  const ScDesign d = regulated_design();
+  EXPECT_FALSE(analyze_sc_regulated(d, 3.3, 1.10, 20.0).feasible);
+  EXPECT_FALSE(analyze_sc_regulated(d, 3.3, 1.2, 20.0).feasible);
+}
+
+TEST(ScModel, HeavyLoadPastFslFloorInfeasible) {
+  ScDesign d = regulated_design();
+  d.g_tot_s = 50.0;  // Weak switches: R_FSL floor above the needed headroom.
+  EXPECT_FALSE(analyze_sc_regulated(d, 3.3, 1.0, 20.0).feasible);
+}
+
+TEST(ScModel, OutputHfCapCombinesOutAndFly) {
+  ScDesign d = reference_design();
+  EXPECT_NEAR(sc_output_hf_cap(d), d.c_out_f + 0.5 * d.c_fly_f, 1e-18);
+}
+
+TEST(ScModel, InvalidDesignsThrow) {
+  ScDesign d = reference_design();
+  d.c_fly_f = 0.0;
+  EXPECT_THROW(analyze_sc(d, 3.3, 20.0), InvalidParameter);
+  d = reference_design();
+  d.n = 1;
+  EXPECT_THROW(analyze_sc(d, 3.3, 20.0), InvalidParameter);
+  d = reference_design();
+  EXPECT_THROW(analyze_sc(d, 3.3, 0.0), InvalidParameter);
+  EXPECT_THROW(analyze_sc(d, -1.0, 20.0), InvalidParameter);
+}
+
+TEST(ScModel, CollapsedOutputThrows) {
+  ScDesign d = reference_design();
+  d.f_sw_hz = 1e4;  // R_SSL enormous: output collapses under 20 A.
+  EXPECT_THROW(analyze_sc(d, 3.3, 20.0), InvalidParameter);
+}
+
+}  // namespace
+}  // namespace ivory::core

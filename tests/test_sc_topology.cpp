@@ -1,0 +1,269 @@
+// Tests for SC topology generators and the generic charge-multiplier solver,
+// including cross-validation against switch-level simulation in ivory_spice.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/sc_model.hpp"
+#include "core/sc_topology.hpp"
+#include "spice/spice.hpp"
+
+namespace ivory::core {
+namespace {
+
+// --- Hand-derived charge multipliers (Seeman & Sanders) ----------------------
+
+TEST(ChargeVectors, SeriesParallel2to1) {
+  const ScTopology t = series_parallel(2);
+  ASSERT_EQ(t.caps.size(), 1u);
+  ASSERT_EQ(t.switches.size(), 4u);
+  const ChargeVectors cv = charge_vectors(t);
+  EXPECT_NEAR(cv.a_cap[0], 0.5, 1e-9);
+  for (double ar : cv.a_switch) EXPECT_NEAR(ar, 0.5, 1e-9);
+  EXPECT_NEAR(cv.sum_ac(), 0.5, 1e-9);
+  EXPECT_NEAR(cv.sum_ar(), 2.0, 1e-9);
+  EXPECT_NEAR(cv.q_in, 0.5, 1e-9);  // Ideal conversion: q_in = m/n.
+}
+
+TEST(ChargeVectors, SeriesParallelGeneralN) {
+  // n:1 series-parallel: each of the n-1 caps carries 1/n, sum a_c = (n-1)/n,
+  // switches: 3n-2 of them, each carrying 1/n, sum a_r = (3n-2)/n.
+  for (int n = 2; n <= 6; ++n) {
+    const ScTopology t = series_parallel(n);
+    EXPECT_EQ(t.caps.size(), static_cast<std::size_t>(n - 1));
+    EXPECT_EQ(t.switches.size(), static_cast<std::size_t>(3 * n - 2));
+    const ChargeVectors cv = charge_vectors(t);
+    for (double ac : cv.a_cap) EXPECT_NEAR(ac, 1.0 / n, 1e-9) << "n=" << n;
+    EXPECT_NEAR(cv.sum_ac(), (n - 1.0) / n, 1e-8) << "n=" << n;
+    EXPECT_NEAR(cv.sum_ar(), (3.0 * n - 2.0) / n, 1e-8) << "n=" << n;
+    EXPECT_NEAR(cv.q_in, 1.0 / n, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(ChargeVectors, Ladder2to1MatchesSeriesParallel) {
+  // The 2:1 ladder is electrically the classic single-fly-cap doubler.
+  const ScTopology t = ladder(2, 1);
+  ASSERT_EQ(t.caps.size(), 1u);  // Output bypass excluded.
+  const ChargeVectors cv = charge_vectors(t);
+  EXPECT_NEAR(cv.a_cap[0], 0.5, 1e-9);
+  EXPECT_NEAR(cv.sum_ar(), 2.0, 1e-9);
+  EXPECT_NEAR(cv.q_in, 0.5, 1e-9);
+}
+
+TEST(ChargeVectors, LadderInputChargeMatchesRatio) {
+  // Charge conservation pins q_in = m/n for ideal two-phase converters.
+  for (const auto& [n, m] : std::vector<std::pair<int, int>>{{3, 1}, {3, 2}, {4, 3}, {5, 2}}) {
+    const ScTopology t = ladder(n, m);
+    const ChargeVectors cv = charge_vectors(t);
+    EXPECT_NEAR(cv.q_in, static_cast<double>(m) / n, 1e-8) << n << ":" << m;
+    EXPECT_GT(cv.sum_ac(), 0.0);
+    EXPECT_GT(cv.sum_ar(), 0.0);
+  }
+}
+
+TEST(ChargeVectors, HigherStepDownCostsMoreCharge) {
+  // Deeper conversion moves more charge per unit output: sum a_c grows with n.
+  double prev = 0.0;
+  for (int n = 2; n <= 6; ++n) {
+    const double s = charge_vectors(series_parallel(n)).sum_ac();
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(ChargeVectors, MalformedTopologyThrows) {
+  ScTopology t;  // No caps, no switches.
+  EXPECT_THROW(charge_vectors(t), InvalidParameter);
+  t.caps.push_back({3, 0, 0.5, false});
+  t.node_count = 4;
+  EXPECT_THROW(charge_vectors(t), InvalidParameter);  // Still no switches.
+}
+
+TEST(Topology, MakeTopologyPicksFamilies) {
+  EXPECT_NE(make_topology(3, 1).name.find("series-parallel"), std::string::npos);
+  EXPECT_NE(make_topology(3, 2).name.find("ladder"), std::string::npos);
+  EXPECT_THROW(make_topology(1, 1), InvalidParameter);
+  EXPECT_THROW(make_topology(3, 3), InvalidParameter);
+}
+
+// --- Node ratios and switch stress -------------------------------------------
+
+TEST(NodeRatios, SeriesParallel2to1PhaseVoltages) {
+  const ScTopology t = series_parallel(2);
+  const NodeRatios nr = ideal_node_ratios(t);
+  // Phase A: cap between Vin and Vout: pos node at 1.0, neg at 0.5.
+  const ScCap& c = t.caps[0];
+  EXPECT_NEAR(nr.phase_a[static_cast<std::size_t>(c.pos)], 1.0, 1e-6);
+  EXPECT_NEAR(nr.phase_a[static_cast<std::size_t>(c.neg)], 0.5, 1e-6);
+  // Phase B: cap across the output.
+  EXPECT_NEAR(nr.phase_b[static_cast<std::size_t>(c.pos)], 0.5, 1e-6);
+  EXPECT_NEAR(nr.phase_b[static_cast<std::size_t>(c.neg)], 0.0, 1e-6);
+}
+
+TEST(NodeRatios, SwitchStressBoundedByVin) {
+  for (const auto& [n, m] : std::vector<std::pair<int, int>>{{2, 1}, {3, 1}, {3, 2}, {4, 1}}) {
+    const ScTopology t = make_topology(n, m);
+    for (double s : switch_stress_ratios(t)) {
+      EXPECT_GT(s, 0.0) << n << ":" << m;
+      EXPECT_LE(s, 1.0 + 1e-9) << n << ":" << m;
+    }
+  }
+}
+
+TEST(NodeRatios, LadderSwitchStressIsOneRung) {
+  // Every ladder switch blocks exactly one rung voltage Vin/n — the property
+  // that lets ladder SC converters use core devices even from a high rail.
+  const ScTopology t = ladder(3, 2);
+  for (double s : switch_stress_ratios(t)) EXPECT_NEAR(s, 1.0 / 3.0, 1e-6);
+}
+
+// --- Cross-validation against the circuit simulator --------------------------
+
+// Simulates the generated netlist under load and compares steady-state output
+// voltage against the charge-multiplier prediction vout = (m/n)vin - I*Rout.
+void validate_against_spice(int n, int m, double f_sw, double c_tot, double g_tot,
+                            double i_load, double tol_mv, double c_out = 10e-9) {
+  const ScTopology topo = make_topology(n, m);
+  const ChargeVectors cv = charge_vectors(topo);
+
+  const double vin = 3.3;
+  spice::Circuit ckt;
+  const ScNetlistResult nodes = build_sc_netlist(ckt, topo, cv, vin, c_tot, g_tot, f_sw, c_out);
+  ckt.add_isource("iload", nodes.vout, spice::kGround, spice::Waveform::dc(i_load));
+
+  spice::TranSpec spec;
+  spec.tstop = 60.0 / f_sw;
+  spec.dt = 1.0 / (f_sw * 200.0);
+  spec.use_ic = true;
+  spec.method = spice::Integrator::BackwardEuler;
+  spec.record_nodes = {nodes.vout};
+  const spice::TranResult res = spice::transient(ckt, spec);
+
+  // Average the last 10 cycles.
+  const std::vector<double>& v = res.at(nodes.vout);
+  const double t_start = spec.tstop - 10.0 / f_sw;
+  double acc = 0.0;
+  int count = 0;
+  for (std::size_t i = 0; i < res.time.size(); ++i) {
+    if (res.time[i] < t_start) continue;
+    acc += v[i];
+    ++count;
+  }
+  ASSERT_GT(count, 0);
+  const double v_sim = acc / count;
+
+  const double rssl = cv.sum_ac() * cv.sum_ac() / (c_tot * f_sw);
+  const double rfsl = cv.sum_ar() * cv.sum_ar() / (g_tot * 0.48);
+  const double v_model = vin * topo.ideal_ratio() - i_load * std::hypot(rssl, rfsl);
+  EXPECT_NEAR(v_sim, v_model, tol_mv * 1e-3)
+      << n << ":" << m << " f=" << f_sw << " (sim " << v_sim << " vs model " << v_model << ")";
+}
+
+TEST(SpiceCrossCheck, SeriesParallel2to1SlowSwitchingLimit) {
+  // SSL-dominated: small caps, strong switches. A stiff output decap keeps
+  // the ripple small so the time-average isolates the SSL droop itself.
+  validate_against_spice(2, 1, 5e6, 20e-9, 10.0, 0.05, 30.0, /*c_out=*/300e-9);
+}
+
+TEST(SpiceCrossCheck, SeriesParallel2to1FastSwitchingLimit) {
+  // FSL-dominated: big caps, weak switches.
+  validate_against_spice(2, 1, 50e6, 200e-9, 0.5, 0.05, 30.0);
+}
+
+TEST(SpiceCrossCheck, SeriesParallel3to1) {
+  validate_against_spice(3, 1, 10e6, 40e-9, 8.0, 0.04, 40.0);
+}
+
+TEST(SpiceCrossCheck, Ladder3to2) {
+  validate_against_spice(3, 2, 10e6, 60e-9, 8.0, 0.05, 40.0);
+}
+
+TEST(SpiceCrossCheck, OutputTracksConversionRatio) {
+  // Unloaded (tiny load), the output settles at (m/n) vin for every family.
+  for (const auto& [n, m] : std::vector<std::pair<int, int>>{{2, 1}, {3, 1}, {3, 2}}) {
+    const ScTopology topo = make_topology(n, m);
+    const ChargeVectors cv = charge_vectors(topo);
+    spice::Circuit ckt;
+    const ScNetlistResult nodes =
+        build_sc_netlist(ckt, topo, cv, 3.0, 50e-9, 5.0, 20e6, 5e-9);
+    ckt.add_isource("iload", nodes.vout, spice::kGround, spice::Waveform::dc(1e-4));
+    spice::TranSpec spec;
+    spec.tstop = 30.0 / 20e6;
+    spec.dt = 1.0 / (20e6 * 200.0);
+    spec.use_ic = true;
+    spec.method = spice::Integrator::BackwardEuler;
+    spec.record_nodes = {nodes.vout};
+    const spice::TranResult res = spice::transient(ckt, spec);
+    EXPECT_NEAR(res.at(nodes.vout).back(), 3.0 * m / n, 0.02) << n << ":" << m;
+  }
+}
+
+
+// --- Dickson family -----------------------------------------------------------
+
+TEST(ChargeVectors, DicksonMatchesSeriesParallelMetrics) {
+  // Known result: Dickson and series-parallel n:1 share the optimized SSL
+  // and FSL metrics; they differ in capacitor voltage ratings.
+  for (int n = 2; n <= 5; ++n) {
+    const ChargeVectors dk = charge_vectors(dickson(n));
+    const ChargeVectors sp = charge_vectors(series_parallel(n));
+    EXPECT_NEAR(dk.sum_ac(), sp.sum_ac(), 1e-8) << "n=" << n;
+    EXPECT_NEAR(dk.sum_ar(), sp.sum_ar(), 1e-8) << "n=" << n;
+    EXPECT_NEAR(dk.q_in, 1.0 / n, 1e-8) << "n=" << n;
+  }
+}
+
+TEST(ChargeVectors, DicksonCapsAreGraded) {
+  const ScTopology t = dickson(4);
+  ASSERT_EQ(t.caps.size(), 3u);
+  EXPECT_NEAR(t.caps[0].ideal_v_ratio, 0.25, 1e-12);
+  EXPECT_NEAR(t.caps[1].ideal_v_ratio, 0.50, 1e-12);
+  EXPECT_NEAR(t.caps[2].ideal_v_ratio, 0.75, 1e-12);
+}
+
+TEST(SpiceCrossCheck, DicksonOutputTracksRatio) {
+  for (int n : {2, 3, 4}) {
+    const ScTopology topo = dickson(n);
+    const ChargeVectors cv = charge_vectors(topo);
+    spice::Circuit ckt;
+    const ScNetlistResult nodes = build_sc_netlist(ckt, topo, cv, 3.0, 50e-9, 5.0, 20e6, 5e-9);
+    ckt.add_isource("iload", nodes.vout, spice::kGround, spice::Waveform::dc(1e-4));
+    spice::TranSpec spec;
+    spec.tstop = 30.0 / 20e6;
+    spec.dt = 1.0 / (20e6 * 200.0);
+    spec.use_ic = true;
+    spec.method = spice::Integrator::BackwardEuler;
+    spec.record_nodes = {nodes.vout};
+    const spice::TranResult res = spice::transient(ckt, spec);
+    EXPECT_NEAR(res.at(nodes.vout).back(), 3.0 / n, 0.03) << "Dickson " << n << ":1";
+  }
+}
+
+TEST(ScModelRating, GradedDicksonRejectedByLowRatedCaps) {
+  // A 3:1 Dickson from 3.3 V stacks 2.2 V on its top cap — beyond a 32 nm
+  // deep-trench rating — while the equal-rating ladder passes.
+  ScDesign d;
+  d.node = tech::Node::n32;
+  d.cap_kind = tech::CapKind::DeepTrench;
+  d.n = 3;
+  d.m = 1;
+  d.family = ScFamily::Dickson;
+  d.c_fly_f = 1e-6;
+  d.c_out_f = 0.2e-6;
+  d.g_tot_s = 5000.0;
+  d.f_sw_hz = 80e6;
+  EXPECT_THROW(analyze_sc(d, 3.3, 5.0), InvalidParameter);
+  d.family = ScFamily::Ladder;
+  EXPECT_NO_THROW(analyze_sc(d, 3.3, 5.0));
+}
+
+TEST(Netlist, MismatchedChargeVectorsThrow) {
+  const ScTopology t2 = series_parallel(2);
+  const ChargeVectors cv3 = charge_vectors(series_parallel(3));
+  spice::Circuit ckt;
+  EXPECT_THROW(build_sc_netlist(ckt, t2, cv3, 3.3, 1e-9, 1.0, 1e6, 1e-9), InvalidParameter);
+}
+
+}  // namespace
+}  // namespace ivory::core

@@ -1,0 +1,76 @@
+// Unit tests for descriptive statistics and box-plot summaries.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+
+namespace ivory {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(mean(xs), 5.0, 1e-12);
+  EXPECT_NEAR(variance(xs), 4.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, MinMaxPeakToPeak) {
+  const std::vector<double> xs{0.95, 1.02, 0.87, 1.0};
+  EXPECT_NEAR(min_value(xs), 0.87, 1e-15);
+  EXPECT_NEAR(max_value(xs), 1.02, 1e-15);
+  EXPECT_NEAR(peak_to_peak(xs), 0.15, 1e-12);
+}
+
+TEST(Stats, EmptySampleThrows) {
+  EXPECT_THROW(mean({}), InvalidParameter);
+  EXPECT_THROW(peak_to_peak({}), InvalidParameter);
+  EXPECT_THROW(box_stats({}), InvalidParameter);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(quantile(xs, 0.0), 1.0, 1e-15);
+  EXPECT_NEAR(quantile(xs, 1.0), 4.0, 1e-15);
+  EXPECT_NEAR(quantile(xs, 0.5), 2.5, 1e-12);
+  EXPECT_NEAR(quantile(xs, 0.25), 1.75, 1e-12);
+}
+
+TEST(Stats, QuantileSingleElement) {
+  EXPECT_NEAR(quantile({42.0}, 0.5), 42.0, 1e-15);
+}
+
+TEST(Stats, BoxStatsQuartilesOrdered) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const BoxStats b = box_stats(xs);
+  EXPECT_LE(b.minimum, b.whisker_low);
+  EXPECT_LE(b.whisker_low, b.q1);
+  EXPECT_LE(b.q1, b.median);
+  EXPECT_LE(b.median, b.q3);
+  EXPECT_LE(b.q3, b.whisker_high);
+  EXPECT_LE(b.whisker_high, b.maximum);
+  EXPECT_NEAR(b.median, 50.5, 1e-9);
+  EXPECT_EQ(b.n, 100u);
+}
+
+TEST(Stats, BoxStatsOutlierBeyondWhisker) {
+  // 20 values near 1.0 plus one far outlier: whisker excludes the outlier.
+  std::vector<double> xs(20, 1.0);
+  for (int i = 0; i < 20; ++i) xs[static_cast<std::size_t>(i)] += 0.01 * i;
+  xs.push_back(50.0);
+  const BoxStats b = box_stats(xs);
+  EXPECT_LT(b.whisker_high, 50.0);
+  EXPECT_NEAR(b.maximum, 50.0, 1e-12);
+}
+
+TEST(Stats, RmsDeviationOfConstantIsZero) {
+  EXPECT_NEAR(rms_deviation({5.0, 5.0, 5.0}), 0.0, 1e-15);
+}
+
+TEST(Stats, RmsDeviationMatchesStddev) {
+  const std::vector<double> xs{1.0, 3.0, -2.0, 0.5};
+  EXPECT_NEAR(rms_deviation(xs), stddev(xs), 1e-12);
+}
+
+}  // namespace
+}  // namespace ivory

@@ -1,0 +1,45 @@
+// Unit tests for the ASCII table renderer and SI formatting.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace ivory {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"topology", "eff(%)"});
+  t.add_row({"3:1 SC", "80.3"});
+  t.add_row({"buck", "71.4"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("topology"), std::string::npos);
+  EXPECT_NE(out.find("3:1 SC"), std::string::npos);
+  EXPECT_NE(out.find("71.4"), std::string::npos);
+  // Header + rule + two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidParameter);
+}
+
+TEST(TextTable, NumFormatsSignificantDigits) {
+  EXPECT_EQ(TextTable::num(0.123456, 3), "0.123");
+  EXPECT_EQ(TextTable::num(1234.0, 4), "1234");
+}
+
+TEST(TextTable, SiPicksSensiblePrefixes) {
+  EXPECT_EQ(TextTable::si(125e6, "Hz"), "125 MHz");
+  EXPECT_EQ(TextTable::si(1.2e-9, "F"), "1.2 nF");
+  EXPECT_EQ(TextTable::si(0.059, "V"), "59 mV");
+  EXPECT_EQ(TextTable::si(15.0, "W"), "15 W");
+  EXPECT_EQ(TextTable::si(0.0, "A"), "0 A");
+}
+
+TEST(TextTable, SiHandlesNegativeValues) {
+  EXPECT_EQ(TextTable::si(-3.3, "V"), "-3.3 V");
+}
+
+}  // namespace
+}  // namespace ivory

@@ -1,0 +1,124 @@
+// Unit tests for the technology database: values, scaling trends, lookups.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "tech/tech.hpp"
+
+namespace ivory::tech {
+namespace {
+
+TEST(TechNode, NameRoundTrip) {
+  for (Node n : kAllNodes) EXPECT_EQ(node_from_string(node_name(n)), n);
+}
+
+TEST(TechNode, ParsesBareNumbers) {
+  EXPECT_EQ(node_from_string("45"), Node::n45);
+  EXPECT_EQ(node_from_string("32nm"), Node::n32);
+}
+
+TEST(TechNode, UnknownNodeThrows) {
+  EXPECT_THROW(node_from_string("28nm"), InvalidParameter);
+  EXPECT_THROW(node_from_string("foo"), InvalidParameter);
+}
+
+TEST(SwitchTech, VddScalesDownWithFeatureSize) {
+  double prev = 1e9;
+  for (Node n : kAllNodes) {
+    const double vdd = switch_tech(n, DeviceClass::Core).vdd_nom_v;
+    EXPECT_LE(vdd, prev);
+    prev = vdd;
+  }
+}
+
+TEST(SwitchTech, FomImprovesMonotonically) {
+  // Ron*Cg (the switch figure of merit) must improve at every shrink.
+  double prev = 1e9;
+  for (Node n : kAllNodes) {
+    const double fom = switch_tech(n, DeviceClass::Core).fom_s();
+    EXPECT_LT(fom, prev);
+    prev = fom;
+  }
+}
+
+TEST(SwitchTech, IoDevicesTolerate3v3) {
+  for (Node n : kAllNodes) {
+    const SwitchTech& io = switch_tech(n, DeviceClass::Io);
+    const SwitchTech& core = switch_tech(n, DeviceClass::Core);
+    EXPECT_GE(io.vmax_v, 3.3);
+    EXPECT_GT(io.ron_w_ohm_m, core.ron_w_ohm_m);
+    EXPECT_GT(io.area_per_w_m, core.area_per_w_m);
+  }
+}
+
+TEST(SwitchTech, PerWidthAccessorsScaleLinearly) {
+  const SwitchTech& t = switch_tech(Node::n45, DeviceClass::Core);
+  const double w = 1e-3;  // 1 mm of width.
+  EXPECT_NEAR(t.ron(w) * w, t.ron_w_ohm_m, 1e-18);
+  EXPECT_NEAR(t.cgate(2.0 * w), 2.0 * t.cgate(w), 1e-21);
+  EXPECT_GT(t.area(w), 0.0);
+}
+
+TEST(CapacitorTech, TrenchBeatsMosDensityEverywhere) {
+  for (Node n : kAllNodes) {
+    const CapacitorTech& mos = capacitor_tech(n, CapKind::MosCap);
+    const CapacitorTech& trench = capacitor_tech(n, CapKind::DeepTrench);
+    EXPECT_GT(trench.density_f_m2, 5.0 * mos.density_f_m2);
+    EXPECT_LT(trench.bottom_plate_ratio, mos.bottom_plate_ratio);
+  }
+}
+
+TEST(CapacitorTech, MosDensityGrowsWithScaling) {
+  double prev = 0.0;
+  for (Node n : kAllNodes) {
+    const double d = capacitor_tech(n, CapKind::MosCap).density_f_m2;
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(CapacitorTech, AreaInverseOfDensity) {
+  const CapacitorTech& t = capacitor_tech(Node::n32, CapKind::DeepTrench);
+  const double c = 10.0 * nano;
+  EXPECT_NEAR(t.area(c) * t.density_f_m2, c, 1e-18);
+}
+
+TEST(InductorTech, NoRolloffBelowKnee) {
+  for (InductorKind k : {InductorKind::SurfaceMount, InductorKind::IntegratedInterposer,
+                         InductorKind::MagneticFilm}) {
+    const InductorTech& t = inductor_tech(k);
+    const double l0 = 10.0 * nano;
+    EXPECT_NEAR(t.inductance_at(l0, t.f_knee_hz * 0.5), l0, 1e-18);
+  }
+}
+
+TEST(InductorTech, InductanceRollsOffAboveKnee) {
+  const InductorTech& t = inductor_tech(InductorKind::MagneticFilm);
+  const double l0 = 10.0 * nano;
+  const double l1 = t.inductance_at(l0, t.f_knee_hz * 10.0);
+  const double l2 = t.inductance_at(l0, t.f_knee_hz * 100.0);
+  EXPECT_LT(l1, l0);
+  EXPECT_LT(l2, l1);
+  EXPECT_GE(l2, l0 * t.rolloff_floor);
+}
+
+TEST(InductorTech, RolloffClampedAtFloor) {
+  const InductorTech& t = inductor_tech(InductorKind::MagneticFilm);
+  const double l0 = 10.0 * nano;
+  EXPECT_NEAR(t.inductance_at(l0, t.f_knee_hz * 1e6), l0 * t.rolloff_floor, 1e-18);
+}
+
+TEST(InductorTech, OnlyMagneticFilmIsOnDie) {
+  EXPECT_FALSE(inductor_tech(InductorKind::SurfaceMount).on_die);
+  EXPECT_FALSE(inductor_tech(InductorKind::IntegratedInterposer).on_die);
+  EXPECT_TRUE(inductor_tech(InductorKind::MagneticFilm).on_die);
+}
+
+TEST(InductorTech, InvalidInputsThrow) {
+  const InductorTech& t = inductor_tech(InductorKind::SurfaceMount);
+  EXPECT_THROW(t.inductance_at(-1.0, 1e6), ivory::InvalidParameter);
+  EXPECT_THROW(t.inductance_at(1e-9, 0.0), ivory::InvalidParameter);
+}
+
+}  // namespace
+}  // namespace ivory::tech

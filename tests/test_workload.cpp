@@ -1,0 +1,177 @@
+// Tests for the synthetic GPU workload generator, digital load model, and
+// DVFS schedules.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+#include <cmath>
+#include <sstream>
+
+#include "workload/workload.hpp"
+
+namespace ivory::workload {
+namespace {
+
+constexpr double kDur = 50e-6;
+constexpr double kDt = 10e-9;
+
+TEST(Traces, DeterministicForSameSeed) {
+  const auto a = generate_gpu_traces(Benchmark::CFD, 2, 15.0, kDur, kDt, 7);
+  const auto b = generate_gpu_traces(Benchmark::CFD, 2, 15.0, kDur, kDt, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t sm = 0; sm < a.size(); ++sm) EXPECT_EQ(a[sm].watts, b[sm].watts);
+}
+
+TEST(Traces, DifferentSeedsDiffer) {
+  const auto a = generate_gpu_traces(Benchmark::CFD, 1, 15.0, kDur, kDt, 1);
+  const auto b = generate_gpu_traces(Benchmark::CFD, 1, 15.0, kDur, kDt, 2);
+  EXPECT_NE(a[0].watts, b[0].watts);
+}
+
+TEST(Traces, MeanTracksRequestedAverage) {
+  for (Benchmark bench : kAllBenchmarks) {
+    const auto t = generate_gpu_traces(bench, 1, 15.0, kDur, kDt);
+    EXPECT_NEAR(t[0].average(), 15.0, 2.0) << benchmark_name(bench);
+  }
+}
+
+TEST(Traces, PhysicalClampsRespected) {
+  const auto t = generate_gpu_traces(Benchmark::BFS2, 4, 15.0, kDur, kDt);
+  for (const PowerTrace& sm : t) {
+    EXPECT_GE(min_value(sm.watts), 0.2 * 15.0 - 1e-12);
+    EXPECT_LE(sm.peak(), 2.5 * 15.0 + 1e-12);
+  }
+}
+
+TEST(Traces, CfdNoisierThanHotsp) {
+  // The paper's Figs. 10-11 show CFD with the deepest noise and HOTSP calm.
+  const auto cfd = generate_gpu_traces(Benchmark::CFD, 1, 15.0, kDur, kDt);
+  const auto hotsp = generate_gpu_traces(Benchmark::HOTSP, 1, 15.0, kDur, kDt);
+  EXPECT_GT(stddev(cfd[0].watts), 1.5 * stddev(hotsp[0].watts));
+}
+
+TEST(Traces, SmsAreCorrelatedButNotIdentical) {
+  const auto t = generate_gpu_traces(Benchmark::CFD, 2, 15.0, kDur, kDt);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_NE(t[0].watts, t[1].watts);
+  // Correlation of the two SM traces should be clearly positive.
+  const double m0 = mean(t[0].watts), m1 = mean(t[1].watts);
+  double cov = 0.0;
+  for (std::size_t k = 0; k < t[0].watts.size(); ++k)
+    cov += (t[0].watts[k] - m0) * (t[1].watts[k] - m1);
+  cov /= static_cast<double>(t[0].watts.size());
+  const double corr = cov / (stddev(t[0].watts) * stddev(t[1].watts));
+  EXPECT_GT(corr, 0.3);
+  EXPECT_LT(corr, 0.99);
+}
+
+TEST(Traces, SumAddsSampleWise) {
+  const auto t = generate_gpu_traces(Benchmark::KMN, 4, 15.0, kDur, kDt);
+  const PowerTrace total = PowerTrace::sum(t);
+  EXPECT_NEAR(total.average(), t[0].average() + t[1].average() + t[2].average() + t[3].average(),
+              1e-9);
+}
+
+TEST(Traces, SumRejectsMismatched) {
+  PowerTrace a{1e-9, {1.0, 2.0}};
+  PowerTrace b{2e-9, {1.0, 2.0}};
+  EXPECT_THROW(PowerTrace::sum({a, b}), InvalidParameter);
+  PowerTrace c{1e-9, {1.0}};
+  EXPECT_THROW(PowerTrace::sum({a, c}), InvalidParameter);
+  EXPECT_THROW(PowerTrace::sum({}), InvalidParameter);
+}
+
+TEST(Traces, InvalidArgsThrow) {
+  EXPECT_THROW(generate_gpu_traces(Benchmark::CFD, 0, 15.0, kDur, kDt), InvalidParameter);
+  EXPECT_THROW(generate_gpu_traces(Benchmark::CFD, 1, -1.0, kDur, kDt), InvalidParameter);
+  EXPECT_THROW(generate_gpu_traces(Benchmark::CFD, 1, 15.0, kDt, kDt), InvalidParameter);
+}
+
+TEST(LoadModel, NominalPowerRecovered) {
+  const DigitalLoadModel m = DigitalLoadModel::from_average_power(15.0, 0.85, 1e9, 0.2);
+  EXPECT_NEAR(m.power(0.85, 1e9, 1.0), 15.0, 1e-9);
+  EXPECT_NEAR(m.current(0.85, 1e9, 1.0), 15.0 / 0.85, 1e-9);
+}
+
+TEST(LoadModel, VoltageAndFrequencyScaling) {
+  const DigitalLoadModel m = DigitalLoadModel::from_average_power(15.0, 0.85, 1e9, 0.0);
+  // Pure dynamic: P ~ V^2 * f.
+  EXPECT_NEAR(m.power(0.85 * 1.1, 1e9, 1.0), 15.0 * 1.21, 1e-6);
+  EXPECT_NEAR(m.power(0.85, 0.5e9, 1.0), 7.5, 1e-9);
+  EXPECT_NEAR(m.power(0.85, 1e9, 0.5), 7.5, 1e-9);
+}
+
+TEST(LoadModel, LeakageGrowsSuperlinearly) {
+  const DigitalLoadModel m = DigitalLoadModel::from_average_power(10.0, 1.0, 1e9, 0.5);
+  const double leak_lo = m.power(0.8, 1e9, 0.0);
+  const double leak_hi = m.power(1.2, 1e9, 0.0);
+  EXPECT_GT(leak_hi / leak_lo, std::pow(1.2 / 0.8, 2.5));
+}
+
+TEST(LoadModel, PowerToCurrentAtNominal) {
+  const DigitalLoadModel m = DigitalLoadModel::from_average_power(15.0, 0.85, 1e9, 0.2);
+  PowerTrace t{1e-9, {15.0, 10.0, 20.0}};
+  const std::vector<double> i = power_to_current(t, m, 0.85);
+  ASSERT_EQ(i.size(), 3u);
+  EXPECT_NEAR(i[0], 15.0 / 0.85, 1e-9);
+  EXPECT_NEAR(i[1], 10.0 / 0.85, 1e-9);
+}
+
+TEST(Dvfs, LookupIsPiecewiseConstant) {
+  const DvfsSchedule s({{0.0, 1.0, 1e9}, {10e-6, 0.8, 0.6e9}, {20e-6, 1.1, 1.2e9}});
+  EXPECT_NEAR(s.at(5e-6).v_v, 1.0, 1e-12);
+  EXPECT_NEAR(s.at(10e-6).v_v, 0.8, 1e-12);
+  EXPECT_NEAR(s.at(15e-6).f_hz, 0.6e9, 1e-3);
+  EXPECT_NEAR(s.at(1.0).v_v, 1.1, 1e-12);
+}
+
+TEST(Dvfs, ValidationErrors) {
+  EXPECT_THROW(DvfsSchedule({}), InvalidParameter);
+  EXPECT_THROW(DvfsSchedule({{1e-6, 1.0, 1e9}}), InvalidParameter);  // Not at t=0.
+  EXPECT_THROW(DvfsSchedule({{0.0, 1.0, 1e9}, {0.0, 0.9, 1e9}}), InvalidParameter);
+  EXPECT_THROW(DvfsSchedule({{0.0, -1.0, 1e9}}), InvalidParameter);
+}
+
+TEST(Dvfs, ConstantHelper) {
+  const DvfsSchedule s = DvfsSchedule::constant(0.9, 1.4e9);
+  EXPECT_NEAR(s.at(123.0).v_v, 0.9, 1e-12);
+  EXPECT_NEAR(s.at(0.0).f_hz, 1.4e9, 1e-3);
+}
+
+
+TEST(TraceCsv, RoundTripPreservesData) {
+  const auto orig = generate_gpu_traces(Benchmark::LUD, 3, 15.0, 2e-6, 10e-9);
+  std::stringstream ss;
+  write_traces_csv(ss, orig);
+  const auto back = read_traces_csv(ss);
+  ASSERT_EQ(back.size(), orig.size());
+  for (std::size_t s = 0; s < orig.size(); ++s) {
+    EXPECT_NEAR(back[s].dt_s, orig[s].dt_s, 1e-15);
+    ASSERT_EQ(back[s].watts.size(), orig[s].watts.size());
+    for (std::size_t k = 0; k < orig[s].watts.size(); k += 17)
+      EXPECT_NEAR(back[s].watts[k], orig[s].watts[k], 1e-6);
+  }
+}
+
+TEST(TraceCsv, HeaderAndShapeValidation) {
+  std::stringstream empty;
+  EXPECT_THROW(read_traces_csv(empty), InvalidParameter);
+  std::stringstream no_traces("time_s\n0\n1\n");
+  EXPECT_THROW(read_traces_csv(no_traces), InvalidParameter);
+  std::stringstream nonuniform("time_s,sm0_w\n0,1\n1e-9,2\n5e-9,3\n");
+  EXPECT_THROW(read_traces_csv(nonuniform), InvalidParameter);
+  std::stringstream short_row("time_s,sm0_w,sm1_w\n0,1\n");
+  EXPECT_THROW(read_traces_csv(short_row), InvalidParameter);
+}
+
+TEST(TraceCsv, ExternalSimulatorShapeAccepted) {
+  // A hand-written file in the documented shape (e.g. from GPUWattch).
+  std::stringstream ss("time_s,sm0_w\n0,5.0\n2e-9,5.5\n4e-9,4.5\n6e-9,5.0\n");
+  const auto traces = read_traces_csv(ss);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_NEAR(traces[0].dt_s, 2e-9, 1e-15);
+  EXPECT_NEAR(traces[0].average(), 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ivory::workload

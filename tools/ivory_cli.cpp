@@ -1,0 +1,297 @@
+// ivory — command-line front end to the Ivory IVR design-space exploration
+// library.
+//
+//   ivory explore   --vin 3.3 --vout 1.0 --power 20 --area 20m  [--cap trench]
+//   ivory sc        --n 3 --m 1 --cfly 4u --gtot 15k --fsw 80meg --vin 3.3 --iload 20
+//   ivory buck      --l 5n --fsw 100meg --phases 4 --whs 80m --wls 100m
+//                   --cout 1u --vin 3.3 --vout 1.0 --iload 10
+//   ivory topology  --n 3 --m 2 [--family ladder]
+//   ivory dynamic   --benchmark CFD --dist 4
+//   ivory pds       [--guard-off 110m --guard-ivr 25m]
+//
+// Numeric flags accept SPICE suffixes (4u, 15k, 80meg, 20m, ...). Areas are
+// in mm^2 (e.g. --area 20).
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+#include "core/ivory.hpp"
+
+using namespace ivory;
+
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      require(key.rfind("--", 0) == 0, "flags must start with --: " + key);
+      kv_[key.substr(2)] = argv[i + 1];
+    }
+    require(first >= argc || (argc - first) % 2 == 0, "every flag needs a value");
+  }
+
+  double num(const std::string& key, double fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : spice::parse_spice_value(it->second);
+  }
+  int integer(const std::string& key, int fallback) const {
+    return static_cast<int>(num(key, fallback));
+  }
+  std::string str(const std::string& key, const std::string& fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+tech::CapKind cap_kind_from(const std::string& s) {
+  if (s == "mos") return tech::CapKind::MosCap;
+  if (s == "mim") return tech::CapKind::Mim;
+  if (s == "trench") return tech::CapKind::DeepTrench;
+  throw InvalidParameter("unknown capacitor kind '" + s + "' (mos|mim|trench)");
+}
+
+core::SystemParams system_from(const Args& a) {
+  core::SystemParams sys;
+  sys.vin_v = a.num("vin", sys.vin_v);
+  sys.vout_v = a.num("vout", sys.vout_v);
+  sys.p_load_w = a.num("power", sys.p_load_w);
+  sys.area_max_m2 = a.num("area", sys.area_max_m2 * 1e6) * 1e-6;  // mm^2.
+  sys.node = tech::node_from_string(a.str("node", "32"));
+  sys.cap_kind = cap_kind_from(a.str("cap", "trench"));
+  sys.max_distributed = a.integer("max-dist", sys.max_distributed);
+  sys.ripple_max_v = a.num("ripple", sys.ripple_max_v);
+  return sys;
+}
+
+int cmd_explore(const Args& a) {
+  const core::SystemParams sys = system_from(a);
+  std::printf("exploring: %.2f V -> %.2f V, %.1f W, %.1f mm^2, %s, %s caps\n\n", sys.vin_v,
+              sys.vout_v, sys.p_load_w, sys.area_max_m2 * 1e6, tech::node_name(sys.node),
+              tech::cap_kind_name(sys.cap_kind));
+  TextTable t({"design", "dist", "eff (%)", "ripple (mV)", "f_sw (MHz)", "ilv", "area (mm^2)",
+               "feasible"});
+  for (const core::DseResult& r : core::explore(sys)) {
+    t.add_row({r.label.empty() ? core::topology_name(r.topology) : r.label,
+               std::to_string(r.n_distributed), TextTable::num(r.efficiency * 100, 3),
+               TextTable::num(r.ripple_pp_v * 1e3, 3), TextTable::num(r.f_sw_hz / 1e6, 3),
+               std::to_string(r.n_interleave), TextTable::num(r.area_m2 * 1e6, 3),
+               r.feasible ? "yes" : "no"});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_sc(const Args& a) {
+  core::ScDesign d;
+  d.node = tech::node_from_string(a.str("node", "32"));
+  d.cap_kind = cap_kind_from(a.str("cap", "trench"));
+  d.n = a.integer("n", 2);
+  d.m = a.integer("m", 1);
+  const std::string fam = a.str("family", "auto");
+  d.family = fam == "ladder"           ? core::ScFamily::Ladder
+             : fam == "series-parallel" ? core::ScFamily::SeriesParallel
+                                        : core::ScFamily::Auto;
+  d.c_fly_f = a.num("cfly", 1e-6);
+  d.c_out_f = a.num("cout", 0.2e-6);
+  d.g_tot_s = a.num("gtot", 5000.0);
+  d.f_sw_hz = a.num("fsw", 80e6);
+  d.n_interleave = a.integer("interleave", 8);
+  const double vin = a.num("vin", 3.3);
+  const double i_load = a.num("iload", 10.0);
+
+  const core::ScAnalysis r = core::analyze_sc(d, vin, i_load);
+  TextTable t({"metric", "value"});
+  t.add_row({"ideal output", TextTable::num(r.vout_ideal_v, 4) + " V"});
+  t.add_row({"actual output", TextTable::num(r.vout_v, 4) + " V"});
+  t.add_row({"R_out (SSL/FSL)", TextTable::si(r.rout_ohm, "ohm") + " (" +
+                                    TextTable::si(r.rssl_ohm, "ohm") + " / " +
+                                    TextTable::si(r.rfsl_ohm, "ohm") + ")"});
+  t.add_row({"efficiency", TextTable::num(r.efficiency * 100, 4) + " %"});
+  t.add_row({"ripple p-p", TextTable::si(r.ripple_pp_v, "V")});
+  t.add_row({"loss: conduction", TextTable::si(r.p_conduction_w, "W")});
+  t.add_row({"loss: gate", TextTable::si(r.p_gate_w, "W")});
+  t.add_row({"loss: bottom plate", TextTable::si(r.p_bottom_plate_w, "W")});
+  t.add_row({"loss: leakage", TextTable::si(r.p_leakage_w, "W")});
+  t.add_row({"loss: peripherals", TextTable::si(r.p_peripheral_w, "W")});
+  t.add_row({"area", TextTable::num(r.area_m2 * 1e6, 4) + " mm^2"});
+  std::printf("%s", t.render().c_str());
+
+  const double vtarget = a.num("regulate", 0.0);
+  if (vtarget > 0.0) {
+    const core::ScRegulated reg = core::analyze_sc_regulated(d, vin, vtarget, i_load);
+    if (reg.feasible)
+      std::printf("\nregulated to %.3f V: eff %.2f %% at f_sw %.2f MHz\n", vtarget,
+                  reg.analysis.efficiency * 100, reg.f_sw_used_hz / 1e6);
+    else
+      std::printf("\nregulation to %.3f V infeasible (past the cliff or FSL floor)\n", vtarget);
+  }
+  return 0;
+}
+
+int cmd_buck(const Args& a) {
+  core::BuckDesign d;
+  d.node = tech::node_from_string(a.str("node", "32"));
+  d.cap_kind = cap_kind_from(a.str("cap", "trench"));
+  const std::string ind = a.str("inductor", "interposer");
+  d.inductor = ind == "smt"        ? tech::InductorKind::SurfaceMount
+               : ind == "magnetic" ? tech::InductorKind::MagneticFilm
+                                   : tech::InductorKind::IntegratedInterposer;
+  d.l_per_phase_h = a.num("l", 5e-9);
+  d.f_sw_hz = a.num("fsw", 100e6);
+  d.n_phases = a.integer("phases", 4);
+  d.w_high_m = a.num("whs", 0.08);
+  d.w_low_m = a.num("wls", 0.10);
+  d.c_out_f = a.num("cout", 1e-6);
+  const core::BuckAnalysis r =
+      core::analyze_buck(d, a.num("vin", 3.3), a.num("vout", 1.0), a.num("iload", 10.0));
+  TextTable t({"metric", "value"});
+  t.add_row({"duty", TextTable::num(r.duty, 4)});
+  t.add_row({"L_eff / L0", TextTable::num(r.l_eff_h / d.l_per_phase_h, 4)});
+  t.add_row({"efficiency", TextTable::num(r.efficiency * 100, 4) + " %"});
+  t.add_row({"inductor ripple/phase", TextTable::si(r.i_ripple_phase_a, "A")});
+  t.add_row({"output ripple p-p", TextTable::si(r.ripple_pp_v, "V")});
+  t.add_row({"loss: conduction", TextTable::si(r.p_conduction_w, "W")});
+  t.add_row({"loss: gate", TextTable::si(r.p_gate_w, "W")});
+  t.add_row({"loss: overlap+coss+deadtime",
+             TextTable::si(r.p_overlap_w + r.p_coss_w + r.p_deadtime_w, "W")});
+  t.add_row({"die area", TextTable::num(r.area_die_m2 * 1e6, 4) + " mm^2"});
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_topology(const Args& a) {
+  const int n = a.integer("n", 2);
+  const int m = a.integer("m", 1);
+  const std::string fam = a.str("family", "auto");
+  const core::ScFamily family = fam == "ladder"           ? core::ScFamily::Ladder
+                                : fam == "series-parallel" ? core::ScFamily::SeriesParallel
+                                : fam == "dickson"          ? core::ScFamily::Dickson
+                                                           : core::ScFamily::Auto;
+  const core::ScTopology topo = core::make_topology(n, m, family);
+  const core::ChargeVectors cv = core::charge_vectors(topo);
+  const std::vector<double> stress = core::switch_stress_ratios(topo);
+  std::printf("%s: %zu caps, %zu switches, q_in = %.4f per unit output charge\n",
+              topo.name.c_str(), topo.caps.size(), topo.switches.size(), cv.q_in);
+  std::printf("R_SSL = %.4f / (C_tot f_sw)    R_FSL = %.4f / (G_tot D)\n",
+              cv.sum_ac() * cv.sum_ac(), cv.sum_ar() * cv.sum_ar());
+  TextTable t({"element", "a (charge mult.)", "stress (x Vin)"});
+  for (std::size_t i = 0; i < topo.caps.size(); ++i)
+    t.add_row({std::string(topo.caps[i].is_dc ? "C(dc) " : "C(fly) ") + std::to_string(i),
+               TextTable::num(cv.a_cap[i], 4), TextTable::num(topo.caps[i].ideal_v_ratio, 4)});
+  for (std::size_t i = 0; i < topo.switches.size(); ++i)
+    t.add_row({"S" + std::to_string(i) + (topo.switches[i].phase == 0 ? " (A)" : " (B)"),
+               TextTable::num(cv.a_switch[i], 4), TextTable::num(stress[i], 4)});
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_dynamic(const Args& a) {
+  const core::SystemParams sys = system_from(a);
+  const std::string bname = a.str("benchmark", "CFD");
+  workload::Benchmark bench = workload::Benchmark::CFD;
+  for (workload::Benchmark b : workload::kAllBenchmarks)
+    if (bname == workload::benchmark_name(b)) bench = b;
+  const int dist = a.integer("dist", 4);
+
+  const core::DseResult ivr =
+      core::optimize_topology(sys, core::IvrTopology::SwitchedCapacitor, dist);
+  require(ivr.feasible, "no feasible IVR design for these constraints");
+  std::printf("design: %s x%d distributed, %d-way interleaved, f_sw %.1f MHz\n",
+              ivr.label.c_str(), dist, ivr.n_interleave, ivr.f_sw_hz / 1e6);
+
+  const double dt = a.num("dt", 2e-9), dur = a.num("duration", 60e-6);
+  const auto traces = workload::generate_gpu_traces(bench, 4, sys.p_load_w / 4.0, dur, dt);
+  const workload::DigitalLoadModel load = workload::DigitalLoadModel::from_average_power(
+      sys.p_load_w / 4.0, sys.vout_v, 1e9, 0.2);
+  std::vector<double> i_dom(traces[0].watts.size(), 0.0);
+  const int sm_per_dom = 4 / dist;
+  for (int s = 0; s < sm_per_dom; ++s) {
+    const auto i = workload::power_to_current(traces[static_cast<std::size_t>(s)], load,
+                                              sys.vout_v);
+    for (std::size_t k = 0; k < i_dom.size(); ++k) i_dom[k] += i[k];
+  }
+  const core::DynWaveform w =
+      core::sc_combined_response(ivr.sc, sys.vin_v, sys.vout_v, i_dom, dt);
+  const std::vector<double> tail(w.v.begin() + static_cast<long>(w.v.size() / 5), w.v.end());
+  const BoxStats b = box_stats(tail);
+  std::printf("%s supply voltage (one domain): mean %.4f V, p-p %.1f mV, "
+              "[min %.4f | q1 %.4f | med %.4f | q3 %.4f | max %.4f]\n",
+              bname.c_str(), mean(tail), peak_to_peak(tail) * 1e3, b.minimum, b.q1, b.median,
+              b.q3, b.maximum);
+  return 0;
+}
+
+int cmd_pds(const Args& a) {
+  const core::SystemParams sys = system_from(a);
+  const pdn::PdnParams pdn_params = pdn::PdnParams::gpuvolt_default();
+  const double v_nom = a.num("vnom", 0.85);
+  const double guard_off = a.num("guard-off", 0.110);
+  const double guard_ivr = a.num("guard-ivr", 0.025);
+  const int dist = a.integer("dist", 4);
+
+  const core::DseResult ivr =
+      core::optimize_topology(sys, core::IvrTopology::SwitchedCapacitor, dist);
+  require(ivr.feasible, "no feasible IVR design for these constraints");
+  const core::PdsBreakdown off = core::evaluate_pds_offchip(sys, pdn_params, v_nom, guard_off);
+  const core::PdsBreakdown on = core::evaluate_pds_ivr(sys, pdn_params, ivr, v_nom, guard_ivr);
+
+  TextTable t({"PDS", "guardband", "grid IR", "PDN IR", "IVR loss", "VRM loss", "total (W)",
+               "eff (%)"});
+  auto row = [&](const char* name, double guard, const core::PdsBreakdown& b) {
+    t.add_row({name, TextTable::si(guard, "V"), TextTable::num(b.p_grid_ir_w, 3),
+               TextTable::num(b.p_pdn_ir_w, 3), TextTable::num(b.p_ivr_loss_w, 3),
+               TextTable::num(b.p_vrm_loss_w, 3), TextTable::num(b.p_total_w, 4),
+               TextTable::num(b.efficiency * 100, 3)});
+  };
+  row("off-chip VRM", guard_off, off);
+  row(("IVR x" + std::to_string(dist)).c_str(), guard_ivr, on);
+  std::printf("%s", t.render().c_str());
+  std::printf("improvement: %.1f points\n", (on.efficiency - off.efficiency) * 100.0);
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "ivory — early-stage IVR design space exploration (DAC'17 reproduction)\n\n"
+      "  ivory explore  [--vin V --vout V --power W --area mm2 --node N --cap K]\n"
+      "  ivory sc       [--n N --m M --family F --cfly F --gtot S --fsw Hz --vin V\n"
+      "                  --iload A --regulate V]\n"
+      "  ivory buck     [--l H --fsw Hz --phases N --whs m --wls m --cout F\n"
+      "                  --vin V --vout V --iload A --inductor smt|interposer|magnetic]\n"
+      "  ivory topology [--n N --m M --family ladder|series-parallel]\n"
+      "  ivory dynamic  [--benchmark B --dist N --duration s --dt s + explore flags]\n"
+      "  ivory pds      [--guard-off V --guard-ivr V --dist N + explore flags]\n\n"
+      "Values accept SPICE suffixes: 4u, 15k, 80meg, 110m, ...\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (cmd == "explore") return cmd_explore(args);
+    if (cmd == "sc") return cmd_sc(args);
+    if (cmd == "buck") return cmd_buck(args);
+    if (cmd == "topology") return cmd_topology(args);
+    if (cmd == "dynamic") return cmd_dynamic(args);
+    if (cmd == "pds") return cmd_pds(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ivory %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
