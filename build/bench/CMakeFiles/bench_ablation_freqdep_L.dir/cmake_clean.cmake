@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_freqdep_L.dir/bench_ablation_freqdep_L.cpp.o"
+  "CMakeFiles/bench_ablation_freqdep_L.dir/bench_ablation_freqdep_L.cpp.o.d"
+  "bench_ablation_freqdep_L"
+  "bench_ablation_freqdep_L.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_freqdep_L.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

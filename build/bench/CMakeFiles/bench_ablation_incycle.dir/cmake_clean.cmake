@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_incycle.dir/bench_ablation_incycle.cpp.o"
+  "CMakeFiles/bench_ablation_incycle.dir/bench_ablation_incycle.cpp.o.d"
+  "bench_ablation_incycle"
+  "bench_ablation_incycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_incycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

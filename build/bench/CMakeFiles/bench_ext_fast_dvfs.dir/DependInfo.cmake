@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_fast_dvfs.cpp" "bench/CMakeFiles/bench_ext_fast_dvfs.dir/bench_ext_fast_dvfs.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_fast_dvfs.dir/bench_ext_fast_dvfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ivory_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ivory_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ivory_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/ivory_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/ivory_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ivory_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ivory_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

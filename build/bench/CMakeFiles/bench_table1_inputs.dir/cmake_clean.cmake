@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_inputs.dir/bench_table1_inputs.cpp.o"
+  "CMakeFiles/bench_table1_inputs.dir/bench_table1_inputs.cpp.o.d"
+  "bench_table1_inputs"
+  "bench_table1_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

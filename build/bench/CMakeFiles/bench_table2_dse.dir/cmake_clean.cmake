@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_dse.dir/bench_table2_dse.cpp.o"
+  "CMakeFiles/bench_table2_dse.dir/bench_table2_dse.cpp.o.d"
+  "bench_table2_dse"
+  "bench_table2_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivory_bench_support.dir/support/case_study.cpp.o"
+  "CMakeFiles/ivory_bench_support.dir/support/case_study.cpp.o.d"
+  "CMakeFiles/ivory_bench_support.dir/support/refdata.cpp.o"
+  "CMakeFiles/ivory_bench_support.dir/support/refdata.cpp.o.d"
+  "libivory_bench_support.a"
+  "libivory_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivory_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

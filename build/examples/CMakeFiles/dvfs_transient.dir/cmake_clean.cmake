@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_transient.dir/dvfs_transient.cpp.o"
+  "CMakeFiles/dvfs_transient.dir/dvfs_transient.cpp.o.d"
+  "dvfs_transient"
+  "dvfs_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

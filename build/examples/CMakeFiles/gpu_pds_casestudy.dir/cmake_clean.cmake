@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_pds_casestudy.dir/gpu_pds_casestudy.cpp.o"
+  "CMakeFiles/gpu_pds_casestudy.dir/gpu_pds_casestudy.cpp.o.d"
+  "gpu_pds_casestudy"
+  "gpu_pds_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_pds_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

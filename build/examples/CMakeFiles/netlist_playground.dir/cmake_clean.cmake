@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_playground.dir/netlist_playground.cpp.o"
+  "CMakeFiles/netlist_playground.dir/netlist_playground.cpp.o.d"
+  "netlist_playground"
+  "netlist_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/fft.cpp" "src/common/CMakeFiles/ivory_common.dir/fft.cpp.o" "gcc" "src/common/CMakeFiles/ivory_common.dir/fft.cpp.o.d"
+  "/root/repo/src/common/interp.cpp" "src/common/CMakeFiles/ivory_common.dir/interp.cpp.o" "gcc" "src/common/CMakeFiles/ivory_common.dir/interp.cpp.o.d"
+  "/root/repo/src/common/matrix.cpp" "src/common/CMakeFiles/ivory_common.dir/matrix.cpp.o" "gcc" "src/common/CMakeFiles/ivory_common.dir/matrix.cpp.o.d"
+  "/root/repo/src/common/optimize.cpp" "src/common/CMakeFiles/ivory_common.dir/optimize.cpp.o" "gcc" "src/common/CMakeFiles/ivory_common.dir/optimize.cpp.o.d"
+  "/root/repo/src/common/polynomial.cpp" "src/common/CMakeFiles/ivory_common.dir/polynomial.cpp.o" "gcc" "src/common/CMakeFiles/ivory_common.dir/polynomial.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/ivory_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/ivory_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/statistics.cpp" "src/common/CMakeFiles/ivory_common.dir/statistics.cpp.o" "gcc" "src/common/CMakeFiles/ivory_common.dir/statistics.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/ivory_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/ivory_common.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivory_common.dir/fft.cpp.o"
+  "CMakeFiles/ivory_common.dir/fft.cpp.o.d"
+  "CMakeFiles/ivory_common.dir/interp.cpp.o"
+  "CMakeFiles/ivory_common.dir/interp.cpp.o.d"
+  "CMakeFiles/ivory_common.dir/matrix.cpp.o"
+  "CMakeFiles/ivory_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/ivory_common.dir/optimize.cpp.o"
+  "CMakeFiles/ivory_common.dir/optimize.cpp.o.d"
+  "CMakeFiles/ivory_common.dir/polynomial.cpp.o"
+  "CMakeFiles/ivory_common.dir/polynomial.cpp.o.d"
+  "CMakeFiles/ivory_common.dir/rng.cpp.o"
+  "CMakeFiles/ivory_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ivory_common.dir/statistics.cpp.o"
+  "CMakeFiles/ivory_common.dir/statistics.cpp.o.d"
+  "CMakeFiles/ivory_common.dir/table.cpp.o"
+  "CMakeFiles/ivory_common.dir/table.cpp.o.d"
+  "libivory_common.a"
+  "libivory_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivory_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

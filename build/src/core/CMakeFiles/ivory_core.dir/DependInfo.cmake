@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/blocks.cpp" "src/core/CMakeFiles/ivory_core.dir/blocks.cpp.o" "gcc" "src/core/CMakeFiles/ivory_core.dir/blocks.cpp.o.d"
+  "/root/repo/src/core/buck_model.cpp" "src/core/CMakeFiles/ivory_core.dir/buck_model.cpp.o" "gcc" "src/core/CMakeFiles/ivory_core.dir/buck_model.cpp.o.d"
+  "/root/repo/src/core/dynamic.cpp" "src/core/CMakeFiles/ivory_core.dir/dynamic.cpp.o" "gcc" "src/core/CMakeFiles/ivory_core.dir/dynamic.cpp.o.d"
+  "/root/repo/src/core/ldo_model.cpp" "src/core/CMakeFiles/ivory_core.dir/ldo_model.cpp.o" "gcc" "src/core/CMakeFiles/ivory_core.dir/ldo_model.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/ivory_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/ivory_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/pds.cpp" "src/core/CMakeFiles/ivory_core.dir/pds.cpp.o" "gcc" "src/core/CMakeFiles/ivory_core.dir/pds.cpp.o.d"
+  "/root/repo/src/core/sc_model.cpp" "src/core/CMakeFiles/ivory_core.dir/sc_model.cpp.o" "gcc" "src/core/CMakeFiles/ivory_core.dir/sc_model.cpp.o.d"
+  "/root/repo/src/core/sc_topology.cpp" "src/core/CMakeFiles/ivory_core.dir/sc_topology.cpp.o" "gcc" "src/core/CMakeFiles/ivory_core.dir/sc_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ivory_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ivory_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/ivory_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/ivory_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ivory_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivory_core.dir/blocks.cpp.o"
+  "CMakeFiles/ivory_core.dir/blocks.cpp.o.d"
+  "CMakeFiles/ivory_core.dir/buck_model.cpp.o"
+  "CMakeFiles/ivory_core.dir/buck_model.cpp.o.d"
+  "CMakeFiles/ivory_core.dir/dynamic.cpp.o"
+  "CMakeFiles/ivory_core.dir/dynamic.cpp.o.d"
+  "CMakeFiles/ivory_core.dir/ldo_model.cpp.o"
+  "CMakeFiles/ivory_core.dir/ldo_model.cpp.o.d"
+  "CMakeFiles/ivory_core.dir/optimizer.cpp.o"
+  "CMakeFiles/ivory_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/ivory_core.dir/pds.cpp.o"
+  "CMakeFiles/ivory_core.dir/pds.cpp.o.d"
+  "CMakeFiles/ivory_core.dir/sc_model.cpp.o"
+  "CMakeFiles/ivory_core.dir/sc_model.cpp.o.d"
+  "CMakeFiles/ivory_core.dir/sc_topology.cpp.o"
+  "CMakeFiles/ivory_core.dir/sc_topology.cpp.o.d"
+  "libivory_core.a"
+  "libivory_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivory_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

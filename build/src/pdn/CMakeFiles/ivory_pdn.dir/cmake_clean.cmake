@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivory_pdn.dir/pdn.cpp.o"
+  "CMakeFiles/ivory_pdn.dir/pdn.cpp.o.d"
+  "libivory_pdn.a"
+  "libivory_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivory_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/analysis.cpp" "src/spice/CMakeFiles/ivory_spice.dir/analysis.cpp.o" "gcc" "src/spice/CMakeFiles/ivory_spice.dir/analysis.cpp.o.d"
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/ivory_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/ivory_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/parser.cpp" "src/spice/CMakeFiles/ivory_spice.dir/parser.cpp.o" "gcc" "src/spice/CMakeFiles/ivory_spice.dir/parser.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "src/spice/CMakeFiles/ivory_spice.dir/waveform.cpp.o" "gcc" "src/spice/CMakeFiles/ivory_spice.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ivory_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivory_spice.dir/analysis.cpp.o"
+  "CMakeFiles/ivory_spice.dir/analysis.cpp.o.d"
+  "CMakeFiles/ivory_spice.dir/circuit.cpp.o"
+  "CMakeFiles/ivory_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/ivory_spice.dir/parser.cpp.o"
+  "CMakeFiles/ivory_spice.dir/parser.cpp.o.d"
+  "CMakeFiles/ivory_spice.dir/waveform.cpp.o"
+  "CMakeFiles/ivory_spice.dir/waveform.cpp.o.d"
+  "libivory_spice.a"
+  "libivory_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivory_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libivory_spice.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivory_tech.dir/tech.cpp.o"
+  "CMakeFiles/ivory_tech.dir/tech.cpp.o.d"
+  "libivory_tech.a"
+  "libivory_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivory_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivory_workload.dir/workload.cpp.o"
+  "CMakeFiles/ivory_workload.dir/workload.cpp.o.d"
+  "libivory_workload.a"
+  "libivory_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivory_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

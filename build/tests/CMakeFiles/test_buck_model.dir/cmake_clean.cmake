@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buck_model.dir/test_buck_model.cpp.o"
+  "CMakeFiles/test_buck_model.dir/test_buck_model.cpp.o.d"
+  "test_buck_model"
+  "test_buck_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buck_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ldo_model.dir/test_ldo_model.cpp.o"
+  "CMakeFiles/test_ldo_model.dir/test_ldo_model.cpp.o.d"
+  "test_ldo_model"
+  "test_ldo_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ldo_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

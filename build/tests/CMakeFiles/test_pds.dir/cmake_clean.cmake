@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pds.dir/test_pds.cpp.o"
+  "CMakeFiles/test_pds.dir/test_pds.cpp.o.d"
+  "test_pds"
+  "test_pds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sc_model.dir/test_sc_model.cpp.o"
+  "CMakeFiles/test_sc_model.dir/test_sc_model.cpp.o.d"
+  "test_sc_model"
+  "test_sc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sc_topology.dir/test_sc_topology.cpp.o"
+  "CMakeFiles/test_sc_topology.dir/test_sc_topology.cpp.o.d"
+  "test_sc_topology"
+  "test_sc_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sc_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

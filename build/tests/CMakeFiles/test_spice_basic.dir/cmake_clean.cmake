@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_basic.dir/test_spice_basic.cpp.o"
+  "CMakeFiles/test_spice_basic.dir/test_spice_basic.cpp.o.d"
+  "test_spice_basic"
+  "test_spice_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivory.dir/ivory_cli.cpp.o"
+  "CMakeFiles/ivory.dir/ivory_cli.cpp.o.d"
+  "ivory"
+  "ivory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

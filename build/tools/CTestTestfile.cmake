@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_explore "/root/repo/build/tools/ivory" "explore" "--area" "20" "--power" "20")
+set_tests_properties(cli_explore PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sc "/root/repo/build/tools/ivory" "sc" "--n" "3" "--m" "1" "--cfly" "4u" "--gtot" "15k" "--fsw" "80meg" "--iload" "20" "--regulate" "1.0")
+set_tests_properties(cli_sc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_buck "/root/repo/build/tools/ivory" "buck" "--iload" "10")
+set_tests_properties(cli_buck PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_topology "/root/repo/build/tools/ivory" "topology" "--n" "3" "--m" "2")
+set_tests_properties(cli_topology PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dynamic "/root/repo/build/tools/ivory" "dynamic" "--benchmark" "CFD" "--dist" "4" "--duration" "20u")
+set_tests_properties(cli_dynamic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_pds "/root/repo/build/tools/ivory" "pds" "--dist" "4")
+set_tests_properties(cli_pds PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/ivory")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
