@@ -1,0 +1,153 @@
+// Thread-scaling benchmark of the parallel DSE engine.
+//
+// Times the full design-space sweep (`explore()` on the GPU case study, plus
+// the hierarchical two-stage sweep) at 1, 2, 4 and hardware_concurrency
+// threads, verifies the parallel result vectors are byte-identical to the
+// serial ones, and writes the measurements to BENCH_dse.json so the perf
+// trajectory is tracked across PRs.
+//
+// Usage: bench_dse_scaling [output.json]   (default: BENCH_dse.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/table.hpp"
+#include "core/ivory.hpp"
+
+using namespace ivory;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::uint64_t bits(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+bool identical(const core::DseResult& a, const core::DseResult& b) {
+  return a.topology == b.topology && a.label == b.label &&
+         a.n_distributed == b.n_distributed && a.feasible == b.feasible &&
+         bits(a.efficiency) == bits(b.efficiency) &&
+         bits(a.ripple_pp_v) == bits(b.ripple_pp_v) && bits(a.f_sw_hz) == bits(b.f_sw_hz) &&
+         bits(a.area_m2) == bits(b.area_m2) && a.n_interleave == b.n_interleave;
+}
+
+bool identical(const std::vector<core::DseResult>& a, const std::vector<core::DseResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!identical(a[i], b[i])) return false;
+  return true;
+}
+
+// Best-of-reps wall time of `fn` (first call warms caches and the pool).
+template <typename Fn>
+double time_best(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+struct ScalePoint {
+  unsigned threads = 1;
+  double explore_s = 0.0;
+  double two_stage_s = 0.0;
+  bool identical_to_serial = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_dse.json";
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("=== DSE engine thread scaling (hardware threads: %u) ===\n\n", hw);
+
+  const core::SystemParams sys;  // GPU case study, paper Table 1.
+  constexpr int kReps = 3;
+
+  // Thread counts to sweep: 1, 2, 4, hardware (deduplicated, ascending).
+  std::vector<unsigned> counts{1, 2, 4, hw};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+
+  // Warm the memo caches (charge vectors, tech tables) so every thread count
+  // measures sweep work, not one-time derivations.
+  par::set_global_threads(1);
+  const std::vector<core::DseResult> reference = core::explore(sys);
+  const core::TwoStageResult two_ref = core::optimize_two_stage(sys, 4);
+
+  std::vector<ScalePoint> points;
+  for (unsigned n : counts) {
+    par::set_global_threads(n);
+    ScalePoint p;
+    p.threads = n;
+    std::vector<core::DseResult> got;
+    p.explore_s = time_best(kReps, [&] { got = core::explore(sys); });
+    p.two_stage_s = time_best(kReps, [&] { (void)core::optimize_two_stage(sys, 4); });
+    p.identical_to_serial = identical(reference, got);
+    points.push_back(p);
+  }
+  par::set_global_threads(1);
+
+  const double serial_explore = points.front().explore_s;
+  const double serial_two_stage = points.front().two_stage_s;
+
+  TextTable table({"threads", "explore()", "speedup", "two-stage", "speedup", "identical"});
+  for (const ScalePoint& p : points) {
+    table.add_row({std::to_string(p.threads), TextTable::si(p.explore_s, "s"),
+                   TextTable::num(serial_explore / p.explore_s, 2),
+                   TextTable::si(p.two_stage_s, "s"),
+                   TextTable::num(serial_two_stage / p.two_stage_s, 2),
+                   p.identical_to_serial ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bool all_identical = true;
+  for (const ScalePoint& p : points) all_identical = all_identical && p.identical_to_serial;
+  if (!all_identical)
+    std::printf("ERROR: parallel explore() diverged from the serial baseline!\n");
+  if (hw < 4)
+    std::printf("Note: only %u hardware thread(s) available — speedups are bounded by the\n"
+                "machine, not the engine; rerun on a multi-core host for the scaling curve.\n",
+                hw);
+  (void)two_ref;
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::printf("ERROR: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"dse_scaling\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+  std::fprintf(f, "  \"reps\": %d,\n", kReps);
+  std::fprintf(f, "  \"all_identical_to_serial\": %s,\n", all_identical ? "true" : "false");
+  std::fprintf(f, "  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"threads\": %u, \"explore_s\": %.6e, \"explore_speedup\": %.3f, "
+                 "\"two_stage_s\": %.6e, \"two_stage_speedup\": %.3f, "
+                 "\"identical_to_serial\": %s}%s\n",
+                 p.threads, p.explore_s, serial_explore / p.explore_s, p.two_stage_s,
+                 serial_two_stage / p.two_stage_s, p.identical_to_serial ? "true" : "false",
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("Wrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}

@@ -95,6 +95,36 @@ void BM_Fft64k(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft64k);
 
+// A/B of the memoized per-stage twiddle tables: `TwiddleCache` serves every
+// stage from the size-indexed table (built once, on the first transform of
+// each size); `TwiddleRecompute` rebuilds the `w *= wlen` chains on every
+// call, which is what fft_radix2 used to do unconditionally.
+void BM_FftRadix2_64k_TwiddleCache(benchmark::State& state) {
+  std::vector<std::complex<double>> base(65536);
+  for (std::size_t i = 0; i < base.size(); ++i) base[i] = std::sin(0.01 * static_cast<double>(i));
+  const bool prev = fft_use_twiddle_cache(true);
+  for (auto _ : state) {
+    std::vector<std::complex<double>> data = base;
+    fft_radix2(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  fft_use_twiddle_cache(prev);
+}
+BENCHMARK(BM_FftRadix2_64k_TwiddleCache);
+
+void BM_FftRadix2_64k_TwiddleRecompute(benchmark::State& state) {
+  std::vector<std::complex<double>> base(65536);
+  for (std::size_t i = 0; i < base.size(); ++i) base[i] = std::sin(0.01 * static_cast<double>(i));
+  const bool prev = fft_use_twiddle_cache(false);
+  for (auto _ : state) {
+    std::vector<std::complex<double>> data = base;
+    fft_radix2(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  fft_use_twiddle_cache(prev);
+}
+BENCHMARK(BM_FftRadix2_64k_TwiddleRecompute);
+
 void BM_PdnImpedanceSweep(benchmark::State& state) {
   const pdn::PdnParams p = pdn::PdnParams::gpuvolt_default();
   for (auto _ : state) benchmark::DoNotOptimize(pdn::find_impedance_peak(p, 1e3, 1e10, 200));

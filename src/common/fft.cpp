@@ -1,6 +1,10 @@
 #include "common/fft.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "common/units.hpp"
@@ -15,7 +19,44 @@ std::size_t next_power_of_two(std::size_t n) {
   while (p < n) p <<= 1;
   return p;
 }
+
+std::atomic<bool> g_twiddle_cache_enabled{true};
+
+// Forward twiddles for all stages of a size-n transform, flattened: stage
+// len = 2, 4, ..., n contributes its len/2 factors w^0..w^(len/2-1) in order
+// (n - 1 entries total). Built with the same `w *= wlen` recurrence as the
+// inline path so cached and uncached transforms agree bit-for-bit; the
+// inverse transform conjugates on access (an exact sign flip).
+std::shared_ptr<const std::vector<std::complex<double>>> twiddles_for(std::size_t n) {
+  static std::mutex mutex;
+  static std::map<std::size_t, std::shared_ptr<const std::vector<std::complex<double>>>> cache;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache.find(n);
+    if (it != cache.end()) return it->second;
+  }
+  auto table = std::make_shared<std::vector<std::complex<double>>>();
+  table->reserve(n - 1);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    std::complex<double> w(1.0, 0.0);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      table->push_back(w);
+      w *= wlen;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto [it, inserted] = cache.try_emplace(n, std::move(table));
+  (void)inserted;  // A racing builder may have won; share its table.
+  return it->second;
+}
+
 }  // namespace
+
+bool fft_use_twiddle_cache(bool enabled) {
+  return g_twiddle_cache_enabled.exchange(enabled);
+}
 
 void fft_radix2(std::vector<std::complex<double>>& data, bool inverse) {
   const std::size_t n = data.size();
@@ -30,19 +71,36 @@ void fft_radix2(std::vector<std::complex<double>>& data, bool inverse) {
     if (i < j) std::swap(data[i], data[j]);
   }
 
+  std::shared_ptr<const std::vector<std::complex<double>>> table;
+  if (g_twiddle_cache_enabled.load(std::memory_order_relaxed)) table = twiddles_for(n);
+
+  std::size_t stage_base = 0;
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? 2.0 : -2.0) * pi / static_cast<double>(len);
-    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
+    const std::complex<double>* tw = nullptr;
+    std::vector<std::complex<double>> local;
+    if (table) {
+      tw = table->data() + stage_base;
+    } else {
+      const double angle = -2.0 * pi / static_cast<double>(len);
+      const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+      local.reserve(len / 2);
       std::complex<double> w(1.0, 0.0);
       for (std::size_t k = 0; k < len / 2; ++k) {
+        local.push_back(w);
+        w *= wlen;
+      }
+      tw = local.data();
+    }
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> w = inverse ? std::conj(tw[k]) : tw[k];
         const std::complex<double> u = data[i + k];
         const std::complex<double> v = data[i + k + len / 2] * w;
         data[i + k] = u + v;
         data[i + k + len / 2] = u - v;
-        w *= wlen;
       }
     }
+    stage_base += len / 2;
   }
 }
 

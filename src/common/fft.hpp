@@ -14,7 +14,17 @@ namespace ivory {
 /// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a power
 /// of two. `inverse` computes the unscaled inverse transform (caller divides
 /// by N).
+///
+/// Per-stage twiddle factors are served from a size-indexed table memoized on
+/// the first transform of each size (the same `w *= wlen` recurrence as the
+/// inline computation, so results are bit-identical), instead of being
+/// recomputed from scratch on every call. Safe for concurrent callers.
 void fft_radix2(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Enables/disables the memoized twiddle tables (default: enabled). Returns
+/// the previous setting. Exists so the micro-benchmarks can measure the
+/// cached-vs-uncached delta; production code should leave the cache on.
+bool fft_use_twiddle_cache(bool enabled);
 
 /// Forward FFT of a real signal, zero-padded to the next power of two.
 /// Returns the full complex spectrum (length = padded size).

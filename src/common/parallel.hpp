@@ -1,0 +1,62 @@
+// Deterministic fork-join parallelism for the DSE sweeps.
+//
+// A single process-wide thread pool executes index-space loops
+// (`parallel_for`) and ordered map operations (`parallel_map`). The design
+// contract is *bit-identical results regardless of thread count*:
+//
+//  - every task is a pure function of its index (no RNG, no shared state),
+//  - per-index results land in a pre-sized slot vector, and
+//  - all reductions happen serially, in index order, on the calling thread.
+//
+// Scheduling is dynamic (atomic index grab with chunking) — which thread
+// computes an index never affects the value stored for it, so dynamic
+// scheduling does not threaten determinism.
+//
+// Nested parallelism is rejected from the pool: a `parallel_for` issued from
+// inside a pool worker runs inline on that worker, serially. This keeps the
+// outer `explore()` fan-out free to call `optimize_topology` (which has its
+// own inner `parallel_for`) without deadlocking a bounded pool.
+//
+// Thread count: `IVORY_THREADS` env var if set (>= 1), otherwise
+// `std::thread::hardware_concurrency()`. Tests may override at runtime with
+// `set_global_threads`.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace ivory::par {
+
+/// Thread count the global pool resolves on first use: `IVORY_THREADS` if
+/// set to a positive integer, else `hardware_concurrency()` (min 1).
+unsigned configured_threads();
+
+/// Threads the global pool is currently running (1 means fully serial).
+unsigned global_threads();
+
+/// Replaces the global pool with one of `n` workers (n >= 1). Intended for
+/// tests and benchmarks that compare scaling; must not be called from inside
+/// a parallel region.
+void set_global_threads(unsigned n);
+
+/// True while the calling thread is executing a pool task. A `parallel_for`
+/// issued in this state runs inline (serial) instead of re-entering the pool.
+bool in_parallel_region();
+
+/// Runs `fn(i)` for every i in [0, n). Blocks until all indices complete.
+/// Exceptions thrown by tasks are captured and the one for the *lowest*
+/// index is rethrown on the caller — deterministic error reporting.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Maps `fn` over [0, n) and returns the results in index order. `T` must be
+/// default-constructible. Reduction over the returned vector (done by the
+/// caller, serially) is then independent of the thread count by construction.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace ivory::par

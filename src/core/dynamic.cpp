@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/units.hpp"
@@ -15,17 +16,30 @@ void check_trace(const std::vector<double>& i_load, double dt) {
   require(dt > 0.0, "dynamic model: dt must be positive");
 }
 
-// Mean of the load samples covering [t0, t1).
-double window_mean(const std::vector<double>& i, double dt, double t0, double t1) {
-  const std::size_t n = i.size();
-  std::size_t k0 = static_cast<std::size_t>(std::max(t0, 0.0) / dt);
-  std::size_t k1 = static_cast<std::size_t>(std::max(t1, 0.0) / dt);
-  k0 = std::min(k0, n - 1);
-  k1 = std::min(std::max(k1, k0 + 1), n);
-  double acc = 0.0;
-  for (std::size_t k = k0; k < k1; ++k) acc += i[k];
-  return acc / static_cast<double>(k1 - k0);
-}
+// Mean of the load samples covering [t0, t1), answered in O(1) from a prefix
+// sum built once per trace. The cycle loops below ask for a window mean every
+// switching period; the naive per-window rescan made the cycle models
+// O(cycles x window) — quadratic in trace length when f_sw * dt is small.
+class WindowMean {
+ public:
+  WindowMean(const std::vector<double>& i, double dt)
+      : dt_(dt), n_(i.size()), prefix_(i.size() + 1, 0.0) {
+    for (std::size_t k = 0; k < n_; ++k) prefix_[k + 1] = prefix_[k] + i[k];
+  }
+
+  double operator()(double t0, double t1) const {
+    std::size_t k0 = static_cast<std::size_t>(std::max(t0, 0.0) / dt_);
+    std::size_t k1 = static_cast<std::size_t>(std::max(t1, 0.0) / dt_);
+    k0 = std::min(k0, n_ - 1);
+    k1 = std::min(std::max(k1, k0 + 1), n_);
+    return (prefix_[k1] - prefix_[k0]) / static_cast<double>(k1 - k0);
+  }
+
+ private:
+  double dt_;
+  std::size_t n_;
+  std::vector<double> prefix_;
+};
 
 // Resamples a waveform known at times grid[j] (piecewise linear) onto a
 // uniform dt grid of n samples.
@@ -64,15 +78,31 @@ DynWaveform sc_cycle_response_traces(const ScDesign& d, const std::vector<double
                                      const std::vector<double>& i_load, double dt_s,
                                      ScControl control) {
   check_trace(i_load, dt_s);
+  // The cycle loop below indexes all three traces with one shared index; a
+  // length mismatch would read out of bounds, so reject it up front with the
+  // offending sizes spelled out.
   require(vin_trace.size() == i_load.size() && vref_trace.size() == i_load.size(),
-          "sc_cycle_response_traces: vin/vref/load traces must share length");
+          "sc_cycle_response_traces: vin/vref/load traces must share length (got vin " +
+              std::to_string(vin_trace.size()) + ", vref " + std::to_string(vref_trace.size()) +
+              ", load " + std::to_string(i_load.size()) + ")");
   for (double v : vin_trace)
     require(v > 0.0, "sc_cycle_response_traces: vin must stay positive");
   const double vin_v = vin_trace.front();
   const double vref_v = vref_trace.front();
 
-  const ScTopology topo = d.topology();
-  const ChargeVectors cv = charge_vectors(topo);
+  // Custom topologies are derived per call; built-in (n, m, family) triples
+  // come from the process-wide memo cache.
+  ScStaticAnalysis local;
+  const ScStaticAnalysis* st;
+  if (d.custom_topology) {
+    local.topo = *d.custom_topology;
+    local.cv = charge_vectors(local.topo);
+    st = &local;
+  } else {
+    st = &sc_static_analysis(d.n, d.m, d.family);
+  }
+  const ScTopology& topo = st->topo;
+  const ChargeVectors& cv = st->cv;
   const double sum_ac = cv.sum_ac();
   const double sum_ar = cv.sum_ar();
 
@@ -95,6 +125,7 @@ DynWaveform sc_cycle_response_traces(const ScDesign& d, const std::vector<double
 
   const double t_end = static_cast<double>(i_load.size()) * dt_s;
   const std::size_t n_cycles = static_cast<std::size_t>(t_end / t_sub) + 1;
+  const WindowMean load_mean(i_load, dt_s);
 
   std::vector<double> times, values;
   times.reserve(n_cycles + 1);
@@ -109,7 +140,7 @@ DynWaveform sc_cycle_response_traces(const ScDesign& d, const std::vector<double
         std::min(static_cast<std::size_t>(t0 / dt_s), i_load.size() - 1);
     const double vin_k = vin_trace[idx];
     const double vref_k = vref_trace[idx];
-    const double i_out = window_mean(i_load, dt_s, t0, t0 + t_sub);
+    const double i_out = load_mean(t0, t0 + t_sub);
     const bool fire = control == ScControl::FreeRunning || v < vref_k;
     // Paper eq. (2), evaluated semi-implicitly: the transferred charge is
     // computed against the end-of-cycle voltage, which keeps the exact SSL
@@ -149,18 +180,19 @@ DynWaveform buck_cycle_response(const BuckDesign& d, double vin_v, double vref_v
 
   const double t_end = static_cast<double>(i_load.size()) * dt_s;
   const std::size_t n_cycles = static_cast<std::size_t>(t_end / t) + 1;
+  const WindowMean load_mean(i_load, dt_s);
 
   std::vector<double> times, values;
   times.reserve(n_cycles + 1);
   double v = vref_v;
-  double i_l = window_mean(i_load, dt_s, 0.0, t);
+  double i_l = load_mean(0.0, t);
   double integ = 0.0;
   times.push_back(0.0);
   values.push_back(v);
 
   for (std::size_t k = 0; k < n_cycles; ++k) {
     const double t0 = static_cast<double>(k) * t;
-    const double i_out = window_mean(i_load, dt_s, t0, t0 + t);
+    const double i_out = load_mean(t0, t0 + t);
     const double err = vref_v - v;
     integ += err;
     const double duty = std::clamp(vref_v / vin_v + kp * err + ki * integ, 0.0, 1.0);
@@ -193,18 +225,19 @@ DynWaveform ldo_cycle_response(const LdoDesign& d, double vin_v, double vref_v,
 
   const double t_end = static_cast<double>(i_load.size()) * dt_s;
   const std::size_t n_cycles = static_cast<std::size_t>(t_end / t) + 1;
+  const WindowMean load_mean(i_load, dt_s);
 
   std::vector<double> times, values;
   double v = vref_v;
   // Start with the code that carries the initial load.
-  const double i0 = window_mean(i_load, dt_s, 0.0, t);
+  const double i0 = load_mean(0.0, t);
   double code = std::clamp(i0 / ((vin_v - v) * g_full) * segments, 0.0, segments);
   times.push_back(0.0);
   values.push_back(v);
 
   for (std::size_t k = 0; k < n_cycles; ++k) {
     const double t0 = static_cast<double>(k) * t;
-    const double i_out = window_mean(i_load, dt_s, t0, t0 + t);
+    const double i_out = load_mean(t0, t0 + t);
     // Clocked bang-bang comparator steps the unary array one segment.
     code = std::clamp(code + (v < vref_v ? 1.0 : -1.0), 0.0, segments);
     const double i_pass = (code / segments) * g_full * std::max(vin_v - v, 0.0);

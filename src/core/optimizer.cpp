@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <tuple>
 
 #include "common/error.hpp"
 #include "common/optimize.hpp"
+#include "common/parallel.hpp"
 
 namespace ivory::core {
 
@@ -44,6 +46,17 @@ void check_sys(const SystemParams& sys) {
   require(sys.vin_v > sys.vout_v && sys.vout_v > 0.0, "SystemParams: need vin > vout > 0");
   require(sys.max_distributed >= 1, "SystemParams: max_distributed must be >= 1");
   require(sys.ripple_max_v > 0.0, "SystemParams: ripple budget must be positive");
+}
+
+// Deterministic best-point reduction: candidates arrive in a fixed index
+// order (the flattened serial nesting order), and a later point replaces the
+// incumbent only on a strict improvement — exactly the serial loop's rule, so
+// the winner is independent of how many threads computed the candidates.
+DseResult reduce_best(const std::vector<DseResult>& candidates, DseResult init) {
+  DseResult best = std::move(init);
+  for (const DseResult& r : candidates)
+    if (r.feasible && (!best.feasible || r.efficiency > best.efficiency)) best = r;
+  return best;
 }
 
 // --- Switched capacitor ------------------------------------------------------
@@ -85,11 +98,16 @@ DseResult optimize_sc(const SystemParams& sys, int n_dist) {
     if (ratio.second == 1) variants.push_back({ratio, ScFamily::SeriesParallel});
   }
 
-  for (const auto& [ratio, family] : variants) {
+  // Every variant is an independent pure task: fan the ratio x family grid
+  // out over the pool and reduce the per-variant winners in index order.
+  const std::vector<DseResult> variant_best =
+      par::parallel_map<DseResult>(variants.size(), [&](std::size_t vi) {
+    const auto& [ratio, family] = variants[vi];
     const auto& [n, m] = ratio;
-    const ScTopology topo = make_topology(n, m, family);
-    const ChargeVectors cv = charge_vectors(topo);
-    const std::vector<double> stress = switch_stress_ratios(topo);
+    const ScStaticAnalysis& st = sc_static_analysis(n, m, family);
+    const ScTopology& topo = st.topo;
+    const ChargeVectors& cv = st.cv;
+    const std::vector<double>& stress = st.stress;
     const double sum_ac = cv.sum_ac();
     const double sum_ar = cv.sum_ar();
     const double k_area_g = sc_area_per_conductance(topo, cv, stress, sys.vin_v, sys.node);
@@ -174,10 +192,9 @@ DseResult optimize_sc(const SystemParams& sys, int n_dist) {
     }
     const ScalarOptimum opt = golden_maximize(objective, std::max(0.50, best_x - 0.03),
                                               std::min(0.98, best_x + 0.03), 1e-4);
-    const DseResult r = evaluate_split(opt.f > best_f ? opt.x : best_x);
-    if (r.feasible && (!bestr.feasible || r.efficiency > bestr.efficiency)) bestr = r;
-  }
-  return bestr;
+    return evaluate_split(opt.f > best_f ? opt.x : best_x);
+  });
+  return reduce_best(variant_best, std::move(bestr));
 }
 
 // --- Buck --------------------------------------------------------------------
@@ -197,71 +214,77 @@ DseResult optimize_buck(const SystemParams& sys, int n_dist) {
   bestr.n_distributed = n_dist;
 
   const double duty0 = sys.vout_v / sys.vin_v;
-  for (int n_phases : {2, 4, 8, 16}) {
-    // The area budget is a ceiling, not a quota: oversized switches burn gate
-    // charge, so the switch-area utilization is itself a design variable.
-    auto evaluate = [&](double l_frac, double sw_util, double f_sw) -> DseResult {
-      DseResult r;
-      r.topology = IvrTopology::Buck;
-      r.n_distributed = n_dist;
-      const double usable = area_ivr / 1.15;
-      const double area_l = l_frac * usable;
-      const double rest = (1.0 - l_frac) * usable;
-      const double area_sw = 0.4 * rest * sw_util;
-      const double area_c = 0.55 * rest;  // 5% peripheral.
+  // The area budget is a ceiling, not a quota: oversized switches burn gate
+  // charge, so the switch-area utilization is itself a design variable.
+  auto evaluate = [&](int n_phases, double l_frac, double sw_util, double f_sw) -> DseResult {
+    DseResult r;
+    r.topology = IvrTopology::Buck;
+    r.n_distributed = n_dist;
+    const double usable = area_ivr / 1.15;
+    const double area_l = l_frac * usable;
+    const double rest = (1.0 - l_frac) * usable;
+    const double area_sw = 0.4 * rest * sw_util;
+    const double area_c = 0.55 * rest;  // 5% peripheral.
 
-      const double l_total = area_l * ind.density_h_m2;
-      const double l_phase = l_total / n_phases;
-      const double c_out = area_c * cap.density_f_m2;
-      const double w_total = area_sw / dev.area_per_w_m;
-      // Conduction-optimal high/low split at the nominal duty.
-      const double sd = std::sqrt(duty0), si = std::sqrt(1.0 - duty0);
-      const double w_hs = w_total / n_phases * sd / (sd + si);
-      const double w_ls = w_total / n_phases * si / (sd + si);
-      if (l_phase <= 0.0 || c_out <= 0.0 || w_hs <= 0.0) return r;
+    const double l_total = area_l * ind.density_h_m2;
+    const double l_phase = l_total / n_phases;
+    const double c_out = area_c * cap.density_f_m2;
+    const double w_total = area_sw / dev.area_per_w_m;
+    // Conduction-optimal high/low split at the nominal duty.
+    const double sd = std::sqrt(duty0), si = std::sqrt(1.0 - duty0);
+    const double w_hs = w_total / n_phases * sd / (sd + si);
+    const double w_ls = w_total / n_phases * si / (sd + si);
+    if (l_phase <= 0.0 || c_out <= 0.0 || w_hs <= 0.0) return r;
 
-      BuckDesign d;
-      d.node = sys.node;
-      d.inductor = sys.inductor;
-      d.cap_kind = sys.cap_kind;
-      d.l_per_phase_h = l_phase;
-      d.f_sw_hz = f_sw;
-      d.n_phases = n_phases;
-      d.w_high_m = w_hs;
-      d.w_low_m = w_ls;
-      d.c_out_f = c_out;
-      try {
-        const BuckAnalysis a = analyze_buck(d, sys.vin_v, sys.vout_v, i_ivr);
-        // Require CCM: ripple current below twice the per-phase DC current.
-        if (a.i_ripple_phase_a > 2.0 * i_ivr / n_phases) return r;
-        r.feasible = a.ripple_pp_v <= sys.ripple_max_v && a.area_die_m2 <= area_ivr * 1.02;
-        r.efficiency = a.efficiency;
-        r.ripple_pp_v = a.ripple_pp_v;
-        r.f_sw_hz = f_sw;
-        r.area_m2 = a.area_m2 * n_dist;
-        r.n_interleave = n_phases;
-        r.buck = d;
-        r.label = "buck";
-      } catch (const InvalidParameter&) {
-        // Unreachable operating point for this sizing.
-      }
-      return r;
-    };
+    BuckDesign d;
+    d.node = sys.node;
+    d.inductor = sys.inductor;
+    d.cap_kind = sys.cap_kind;
+    d.l_per_phase_h = l_phase;
+    d.f_sw_hz = f_sw;
+    d.n_phases = n_phases;
+    d.w_high_m = w_hs;
+    d.w_low_m = w_ls;
+    d.c_out_f = c_out;
+    try {
+      const BuckAnalysis a = analyze_buck(d, sys.vin_v, sys.vout_v, i_ivr);
+      // Require CCM: ripple current below twice the per-phase DC current.
+      if (a.i_ripple_phase_a > 2.0 * i_ivr / n_phases) return r;
+      r.feasible = a.ripple_pp_v <= sys.ripple_max_v && a.area_die_m2 <= area_ivr * 1.02;
+      r.efficiency = a.efficiency;
+      r.ripple_pp_v = a.ripple_pp_v;
+      r.f_sw_hz = f_sw;
+      r.area_m2 = a.area_m2 * n_dist;
+      r.n_interleave = n_phases;
+      r.buck = d;
+      r.label = "buck";
+    } catch (const InvalidParameter&) {
+      // Unreachable operating point for this sizing.
+    }
+    return r;
+  };
 
-    for (double l_frac : {0.02, 0.03, 0.05, 0.10, 0.18, 0.25, 0.40, 0.55, 0.70}) {
-      for (double sw_util : {0.03, 0.07, 0.15, 0.3, 0.6, 1.0}) {
+  // Flatten the phase x inductor-fraction x switch-utilization grid in the
+  // serial nesting order; each point's frequency sweep is an independent
+  // task for the pool.
+  std::vector<std::tuple<int, double, double>> grid;
+  for (int n_phases : {2, 4, 8, 16})
+    for (double l_frac : {0.02, 0.03, 0.05, 0.10, 0.18, 0.25, 0.40, 0.55, 0.70})
+      for (double sw_util : {0.03, 0.07, 0.15, 0.3, 0.6, 1.0})
+        grid.emplace_back(n_phases, l_frac, sw_util);
+
+  const std::vector<DseResult> grid_best =
+      par::parallel_map<DseResult>(grid.size(), [&](std::size_t gi) {
+        const auto& [n_phases, l_frac, sw_util] = grid[gi];
         const ScalarOptimum opt = log_grid_minimize(
             [&](double f) {
-              const DseResult r = evaluate(l_frac, sw_util, f);
+              const DseResult r = evaluate(n_phases, l_frac, sw_util, f);
               return r.feasible ? 1.0 - r.efficiency : 2.0;
             },
             2e6, 1e9, 48);
-        const DseResult r = evaluate(l_frac, sw_util, opt.x);
-        if (r.feasible && (!bestr.feasible || r.efficiency > bestr.efficiency)) bestr = r;
-      }
-    }
-  }
-  return bestr;
+        return evaluate(n_phases, l_frac, sw_util, opt.x);
+      });
+  return reduce_best(grid_best, std::move(bestr));
 }
 
 // --- LDO ---------------------------------------------------------------------
@@ -324,12 +347,19 @@ DseResult optimize_topology(const SystemParams& sys, IvrTopology topo, int n_dis
 
 std::vector<DseResult> explore(const SystemParams& sys, OptTarget target) {
   check_sys(sys);
-  std::vector<DseResult> all;
+  // Fan the topology x distribution-count points out over the pool. Each
+  // point is a pure function of (sys, topo, n); results land in the serial
+  // iteration order, so the stable sort below sees the exact sequence the
+  // serial loop produced. The inner sweeps of optimize_topology notice they
+  // run inside a pool task and stay serial (nested-region rejection).
+  std::vector<std::pair<IvrTopology, int>> points;
   for (IvrTopology topo : {IvrTopology::SwitchedCapacitor, IvrTopology::Buck,
                            IvrTopology::LinearRegulator}) {
-    for (int n = 1; n <= sys.max_distributed; n *= 2)
-      all.push_back(optimize_topology(sys, topo, n));
+    for (int n = 1; n <= sys.max_distributed; n *= 2) points.emplace_back(topo, n);
   }
+  std::vector<DseResult> all = par::parallel_map<DseResult>(points.size(), [&](std::size_t i) {
+    return optimize_topology(sys, points[i].first, points[i].second);
+  });
   std::stable_sort(all.begin(), all.end(), [target](const DseResult& a, const DseResult& b) {
     if (a.feasible != b.feasible) return a.feasible;
     switch (target) {
@@ -353,40 +383,49 @@ TwoStageResult optimize_two_stage(const SystemParams& sys, int n_distributed) {
   require(n_distributed >= 1 && n_distributed <= sys.max_distributed,
           "optimize_two_stage: distribution count out of range");
 
-  TwoStageResult best;
-  // Intermediate rails worth trying: between ~1.3x vout (second stage nearly
-  // a pass-through) and ~0.8x vin (first stage nearly a pass-through).
+  // Flatten the v_mid x area-split grid in the serial nesting order; each
+  // cascade point optimizes both stages independently of every other point.
+  std::vector<std::pair<double, double>> grid;
   for (double v_mid : {1.3 * sys.vout_v, 1.6 * sys.vout_v, 2.0 * sys.vout_v,
                        0.5 * (sys.vout_v + sys.vin_v), 0.7 * sys.vin_v}) {
     if (v_mid <= sys.vout_v * 1.1 || v_mid >= sys.vin_v * 0.95) continue;
-    for (double a1 : {0.25, 0.40, 0.55}) {
-      // Stage 2 first: v_mid -> vout, distributed, sets the power stage 1
-      // must carry.
-      SystemParams s2 = sys;
-      s2.vin_v = v_mid;
-      s2.area_max_m2 = sys.area_max_m2 * (1.0 - a1);
-      const DseResult r2 = optimize_topology(s2, IvrTopology::SwitchedCapacitor, n_distributed);
-      if (!r2.feasible) continue;
+    for (double a1 : {0.25, 0.40, 0.55}) grid.emplace_back(v_mid, a1);
+  }
 
-      SystemParams s1 = sys;
-      s1.vout_v = v_mid;
-      s1.area_max_m2 = sys.area_max_m2 * a1;
-      s1.p_load_w = sys.p_load_w / r2.efficiency;  // Stage 1 carries stage 2's input.
-      // The intermediate rail tolerates more ripple than the core rail.
-      s1.ripple_max_v = 5.0 * sys.ripple_max_v;
-      const DseResult r1 = optimize_topology(s1, IvrTopology::SwitchedCapacitor, 1);
-      if (!r1.feasible) continue;
+  const std::vector<TwoStageResult> cascades =
+      par::parallel_map<TwoStageResult>(grid.size(), [&](std::size_t gi) {
+        const auto& [v_mid, a1] = grid[gi];
+        TwoStageResult cand;
+        // Stage 2 first: v_mid -> vout, distributed, sets the power stage 1
+        // must carry.
+        SystemParams s2 = sys;
+        s2.vin_v = v_mid;
+        s2.area_max_m2 = sys.area_max_m2 * (1.0 - a1);
+        const DseResult r2 =
+            optimize_topology(s2, IvrTopology::SwitchedCapacitor, n_distributed);
+        if (!r2.feasible) return cand;
 
-      const double eff = r1.efficiency * r2.efficiency;
-      if (!best.feasible || eff > best.efficiency) {
-        best.feasible = true;
-        best.v_mid_v = v_mid;
-        best.area_frac_stage1 = a1;
-        best.stage1 = r1;
-        best.stage2 = r2;
-        best.efficiency = eff;
-      }
-    }
+        SystemParams s1 = sys;
+        s1.vout_v = v_mid;
+        s1.area_max_m2 = sys.area_max_m2 * a1;
+        s1.p_load_w = sys.p_load_w / r2.efficiency;  // Stage 1 carries stage 2's input.
+        // The intermediate rail tolerates more ripple than the core rail.
+        s1.ripple_max_v = 5.0 * sys.ripple_max_v;
+        const DseResult r1 = optimize_topology(s1, IvrTopology::SwitchedCapacitor, 1);
+        if (!r1.feasible) return cand;
+
+        cand.feasible = true;
+        cand.v_mid_v = v_mid;
+        cand.area_frac_stage1 = a1;
+        cand.stage1 = r1;
+        cand.stage2 = r2;
+        cand.efficiency = r1.efficiency * r2.efficiency;
+        return cand;
+      });
+
+  TwoStageResult best;
+  for (const TwoStageResult& cand : cascades) {
+    if (cand.feasible && (!best.feasible || cand.efficiency > best.efficiency)) best = cand;
   }
   return best;
 }

@@ -20,11 +20,32 @@ void check_design(const ScDesign& d) {
   require(d.c_out_f >= 0.0, "ScDesign: c_out must be non-negative");
 }
 
+// Static (topology-only) analysis of the design, memoized for the built-in
+// families; custom topologies are derived per call.
+struct OwnedStatic {
+  const ScStaticAnalysis* cached = nullptr;
+  ScStaticAnalysis owned;
+  const ScStaticAnalysis& get() const { return cached ? *cached : owned; }
+};
+
+OwnedStatic static_analysis_for(const ScDesign& d) {
+  OwnedStatic s;
+  if (!d.custom_topology) {
+    s.cached = &sc_static_analysis(d.n, d.m, d.family);
+    return s;
+  }
+  s.owned.topo = *d.custom_topology;
+  s.owned.cv = charge_vectors(s.owned.topo);
+  s.owned.stress = switch_stress_ratios(s.owned.topo);
+  return s;
+}
+
 // Evaluate at an explicit frequency (regulation modulates frequency).
 ScAnalysis analyze_at(const ScDesign& d, double vin_v, double i_load_a, double f_sw) {
-  const ScTopology topo = d.topology();
-  const ChargeVectors cv = charge_vectors(topo);
-  const std::vector<double> stress = switch_stress_ratios(topo);
+  const OwnedStatic st = static_analysis_for(d);
+  const ScTopology& topo = st.get().topo;
+  const ChargeVectors& cv = st.get().cv;
+  const std::vector<double>& stress = st.get().stress;
 
   const double sum_ac = cv.sum_ac();
   const double sum_ar = cv.sum_ar();
@@ -138,11 +159,11 @@ ScRegulated analyze_sc_regulated(const ScDesign& d, double vin_v, double vout_ta
   require(vout_target_v > 0.0, "analyze_sc_regulated: vout target must be positive");
   require(i_load_a > 0.0, "analyze_sc_regulated: load current must be positive");
 
-  const ScTopology topo = d.topology();
-  const ChargeVectors cv = charge_vectors(topo);
+  const OwnedStatic st = static_analysis_for(d);
+  const ChargeVectors& cv = st.get().cv;
   const double sum_ac = cv.sum_ac();
   const double sum_ar = cv.sum_ar();
-  const double vout_ideal = topo.ideal_ratio() * vin_v;
+  const double vout_ideal = st.get().topo.ideal_ratio() * vin_v;
   const double rfsl = sum_ar * sum_ar / (d.g_tot_s * d.duty);
 
   ScRegulated out;

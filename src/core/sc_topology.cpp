@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
 
 #include "common/error.hpp"
 #include "common/matrix.hpp"
@@ -241,6 +244,35 @@ ChargeVectors charge_vectors(const ScTopology& t) {
     if (lay.q_in_col[p] >= 0) cv.q_in += x[static_cast<size_t>(lay.q_in_col[p])];
   if (lay.q_out_col[0] >= 0) cv.q_out_phase_a = x[static_cast<size_t>(lay.q_out_col[0])];
   return cv;
+}
+
+// ---------------------------------------------------------------------------
+// Memoized static analysis
+// ---------------------------------------------------------------------------
+
+const ScStaticAnalysis& sc_static_analysis(int n, int m, ScFamily family) {
+  if (family == ScFamily::Auto) family = m == 1 ? ScFamily::SeriesParallel : ScFamily::Ladder;
+  using Key = std::tuple<int, int, int>;
+  // unique_ptr values keep entries at stable addresses; the map only grows.
+  static std::mutex mutex;
+  static std::map<Key, std::unique_ptr<const ScStaticAnalysis>> cache;
+
+  const Key key{n, m, static_cast<int>(family)};
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return *it->second;
+  }
+  // Derive outside the lock: the solve is the expensive part, and deriving
+  // the same triple twice on a race is harmless (first insert wins).
+  auto fresh = std::make_unique<ScStaticAnalysis>();
+  fresh->topo = make_topology(n, m, family);
+  fresh->cv = charge_vectors(fresh->topo);
+  fresh->stress = switch_stress_ratios(fresh->topo);
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto [it, inserted] = cache.try_emplace(key, std::move(fresh));
+  (void)inserted;
+  return *it->second;
 }
 
 // ---------------------------------------------------------------------------

@@ -96,6 +96,24 @@ struct ChargeVectors {
 /// is inconsistent.
 ChargeVectors charge_vectors(const ScTopology& topo);
 
+/// Everything the static and dynamic models need that depends only on the
+/// (n, m, family) triple: the generated topology, its charge-multiplier
+/// vectors, and its switch blocking-stress ratios.
+struct ScStaticAnalysis {
+  ScTopology topo;
+  ChargeVectors cv;
+  std::vector<double> stress;  ///< switch_stress_ratios(topo).
+};
+
+/// Memoized `ScStaticAnalysis` for a built-in family. The sweep engines call
+/// the charge-flow solver with the same handful of ratios thousands of
+/// times; this cache derives each triple once and shares the result. The
+/// returned reference is valid for the program's lifetime and safe to read
+/// concurrently (lookups are internally synchronized; entries are immutable
+/// once published). `ScFamily::Auto` is resolved to the concrete family
+/// before keying, so `Auto` and its resolution share one entry.
+const ScStaticAnalysis& sc_static_analysis(int n, int m, ScFamily family = ScFamily::Auto);
+
 /// Ideal node voltages (as fractions of Vin) in each phase, from the
 /// closed-switch equalities and capacitor voltage constraints. Used for
 /// switch blocking-voltage stress analysis and netlist initial conditions.

@@ -146,7 +146,9 @@ const char* cap_kind_name(CapKind kind) {
   return "?";
 }
 
-CapacitorTech capacitor_tech(Node node, CapKind kind) {
+namespace {
+
+CapacitorTech make_capacitor_tech(Node node, CapKind kind) {
   // MOS cap density grows as gate oxide thins; deep-trench (embedded DRAM
   // style, per Chang [VLSI'10]) gives ~10-20x MOS density at ~1% bottom plate.
   static const double mos_density_nf_mm2[] = {4.0, 5.0, 6.5, 8.0, 10.0, 12.0, 14.0, 16.0};
@@ -171,6 +173,23 @@ CapacitorTech capacitor_tech(Node node, CapKind kind) {
                            r.core.vmax_v * 1.5};
   }
   throw InvalidParameter("tech: unknown capacitor kind");
+}
+
+}  // namespace
+
+const CapacitorTech& capacitor_tech(Node node, CapKind kind) {
+  constexpr std::size_t n_kinds = 3;
+  require(static_cast<std::size_t>(kind) < n_kinds, "tech: unknown capacitor kind");
+  // The full (node x kind) table is built once, on first use, under the
+  // magic-static lock; afterwards lookups are lock-free reads.
+  static const std::array<std::array<CapacitorTech, n_kinds>, 8> table = [] {
+    std::array<std::array<CapacitorTech, n_kinds>, 8> t{};
+    for (std::size_t ni = 0; ni < t.size(); ++ni)
+      for (std::size_t ki = 0; ki < n_kinds; ++ki)
+        t[ni][ki] = make_capacitor_tech(node_table()[ni].node, static_cast<CapKind>(ki));
+    return t;
+  }();
+  return table[node_index(node)][static_cast<std::size_t>(kind)];
 }
 
 const char* inductor_kind_name(InductorKind kind) {

@@ -78,7 +78,10 @@ struct CapacitorTech {
   double esr(double c_f) const { return esr_ohm_f / c_f; }
 };
 
-CapacitorTech capacitor_tech(Node node, CapKind kind);
+/// Capacitor parameters for one node and kind. Returns a reference into a
+/// table memoized on first use (the sweep engines query the same few
+/// combinations millions of times); safe for concurrent readers.
+const CapacitorTech& capacitor_tech(Node node, CapKind kind);
 
 /// Inductor technologies: discrete surface-mount parts, inductors integrated
 /// on a silicon interposer (2.5D, Sturcken-style coupled magnetic core), and

@@ -254,5 +254,26 @@ TEST(Dynamic, InvalidInputsThrow) {
   EXPECT_THROW(grid_noise({1.0, 1.0}, 1e-9, -1.0, 0.0), InvalidParameter);
 }
 
+TEST(Dynamic, MismatchedTraceLengthsThrowWithSizes) {
+  // The cycle loop indexes vin/vref/load with one shared index; mismatched
+  // lengths must be an explicit error, not out-of-bounds reads.
+  const ScDesign d = sc_design();
+  const std::vector<double> load = constant_load(10.0, 64);
+  const std::vector<double> vin_short(32, 3.3);
+  const std::vector<double> vref_ok(64, 1.0);
+  try {
+    sc_cycle_response_traces(d, vin_short, vref_ok, load, 2e-9);
+    FAIL() << "expected InvalidParameter";
+  } catch (const InvalidParameter& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("share length"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("32"), std::string::npos) << msg;   // The offending size...
+    EXPECT_NE(msg.find("64"), std::string::npos) << msg;   // ...and the expected one.
+  }
+  const std::vector<double> vin_ok(64, 3.3);
+  const std::vector<double> vref_long(65, 1.0);
+  EXPECT_THROW(sc_cycle_response_traces(d, vin_ok, vref_long, load, 2e-9), InvalidParameter);
+}
+
 }  // namespace
 }  // namespace ivory::core
