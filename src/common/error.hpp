@@ -6,8 +6,12 @@
 // from numerical failure.
 #pragma once
 
+#include <cmath>
+#include <complex>
+#include <cstddef>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace ivory {
 
@@ -32,9 +36,49 @@ class StructuralError : public std::runtime_error {
   explicit StructuralError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A NaN or Inf crossed a guarded model boundary. Distinguished from the
+/// general NumericalError so sweep reports can separate "solver gave up"
+/// from "a model silently produced garbage".
+class NonFiniteError : public NumericalError {
+ public:
+  explicit NonFiniteError(const std::string& what) : NumericalError(what) {}
+};
+
 /// Throws InvalidParameter with `msg` when `cond` is false.
 inline void require(bool cond, const std::string& msg) {
   if (!cond) throw InvalidParameter(msg);
 }
+
+/// Returns `v` unchanged when finite; otherwise throws NonFiniteError naming
+/// `site`. Placed at model boundaries so NaN/Inf surfaces as a contextful
+/// error instead of silently poisoning downstream rankings.
+inline double check_finite(double v, const char* site) {
+  if (!std::isfinite(v))
+    throw NonFiniteError(std::string(site) + ": non-finite value (" +
+                         (std::isnan(v) ? "NaN" : "Inf") + ")");
+  return v;
+}
+
+inline std::complex<double> check_finite(std::complex<double> v, const char* site) {
+  if (!std::isfinite(v.real()) || !std::isfinite(v.imag()))
+    throw NonFiniteError(std::string(site) + ": non-finite complex value");
+  return v;
+}
+
+/// Vector overload: names the first offending index.
+inline const std::vector<double>& check_finite(const std::vector<double>& v,
+                                               const char* site) {
+  for (std::size_t i = 0; i < v.size(); ++i)
+    if (!std::isfinite(v[i]))
+      throw NonFiniteError(std::string(site) + ": non-finite value (" +
+                           (std::isnan(v[i]) ? "NaN" : "Inf") + ") at index " +
+                           std::to_string(i) + " of " + std::to_string(v.size()));
+  return v;
+}
+
+/// Boundary-guard macro: annotates the site string with the guarded
+/// expression, e.g. IVORY_CHECK_FINITE(a.rout_ohm, "analyze_sc") throws
+/// "analyze_sc [a.rout_ohm]: non-finite value (NaN)".
+#define IVORY_CHECK_FINITE(expr, site) ::ivory::check_finite((expr), site " [" #expr "]")
 
 }  // namespace ivory

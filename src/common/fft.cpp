@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/units.hpp"
 
 namespace ivory {
@@ -62,6 +63,7 @@ void fft_radix2(std::vector<std::complex<double>>& data, bool inverse) {
   const std::size_t n = data.size();
   require(is_power_of_two(n), "fft_radix2: size must be a power of two");
   if (n <= 1) return;
+  data[0] += fault::inject("fft");
 
   // Bit-reversal permutation.
   for (std::size_t i = 1, j = 0; i < n; ++i) {
@@ -102,6 +104,12 @@ void fft_radix2(std::vector<std::complex<double>>& data, bool inverse) {
     }
     stage_base += len / 2;
   }
+  // One NaN input sample poisons every output bin; report it as a contextful
+  // error instead of handing a NaN spectrum to the noise models.
+  for (std::size_t i = 0; i < n; ++i)
+    if (!std::isfinite(data[i].real()) || !std::isfinite(data[i].imag()))
+      throw NonFiniteError("fft_radix2: non-finite output at bin " + std::to_string(i) +
+                           " (non-finite input sample?)");
 }
 
 std::vector<std::complex<double>> fft_real(const std::vector<double>& signal) {

@@ -13,6 +13,7 @@ std::vector<double> solve_least_squares(const Matrix<double>& a, const std::vect
   // Householder QR applied in place to a working copy [R | Q^T b].
   Matrix<double> r = a;
   std::vector<double> y = b;
+  if (m > 0) y[0] += fault::inject("least_squares");
 
   for (std::size_t k = 0; k < n; ++k) {
     // Build the Householder reflector for column k.
@@ -51,7 +52,7 @@ std::vector<double> solve_least_squares(const Matrix<double>& a, const std::vect
       throw NumericalError("solve_least_squares: rank-deficient matrix");
     x[ii] = acc / r(ii, ii);
   }
-  return x;
+  return check_finite(x, "solve_least_squares: solution");
 }
 
 std::vector<double> solve_min_norm(const Matrix<double>& a, const std::vector<double>& b) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace ivory {
 
@@ -75,6 +76,10 @@ class Matrix {
 namespace detail {
 inline double abs_val(double x) { return std::fabs(x); }
 inline double abs_val(const std::complex<double>& x) { return std::abs(x); }
+inline bool is_finite_val(double x) { return std::isfinite(x); }
+inline bool is_finite_val(const std::complex<double>& x) {
+  return std::isfinite(x.real()) && std::isfinite(x.imag());
+}
 }  // namespace detail
 
 /// LU factorization with partial pivoting. Factorizes once; solves many
@@ -98,7 +103,10 @@ class LuFactorization {
           p = i;
         }
       }
-      if (best < 1e-300) throw NumericalError("LuFactorization: singular matrix");
+      // Negated comparison so a NaN pivot column (non-finite input matrix)
+      // is reported here instead of propagating NaN through the solve.
+      if (!(best >= 1e-300))
+        throw NumericalError("LuFactorization: singular or non-finite matrix");
       if (p != k) {
         for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(p, c));
         std::swap(piv_[k], piv_[p]);
@@ -116,8 +124,10 @@ class LuFactorization {
   std::vector<T> solve(const std::vector<T>& b) const {
     const std::size_t n = lu_.rows();
     require(b.size() == n, "LuFactorization::solve: dimension mismatch");
+    const double injected = fault::inject("lu_solve");
     std::vector<T> x(n);
     for (std::size_t i = 0; i < n; ++i) x[i] = b[piv_[i]];
+    if (n > 0) x[0] += T{injected};
     // Forward substitution (unit lower triangular).
     for (std::size_t i = 1; i < n; ++i) {
       T acc = x[i];
@@ -130,6 +140,10 @@ class LuFactorization {
       for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
       x[ii] = acc / lu_(ii, ii);
     }
+    for (std::size_t i = 0; i < n; ++i)
+      if (!detail::is_finite_val(x[i]))
+        throw NonFiniteError("LuFactorization::solve: non-finite solution component " +
+                             std::to_string(i) + " (ill-conditioned or non-finite system)");
     return x;
   }
 

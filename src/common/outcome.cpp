@@ -1,0 +1,128 @@
+#include "common/outcome.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ivory {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::None: return "none";
+    case ErrorCode::InvalidParameter: return "invalid-parameter";
+    case ErrorCode::Numerical: return "numerical";
+    case ErrorCode::NonFinite: return "non-finite";
+    case ErrorCode::Structural: return "structural";
+    case ErrorCode::Unknown: return "unknown";
+  }
+  return "unknown";
+}
+
+std::string Diagnostics::to_string() const {
+  std::string s = error_code_name(code);
+  s += " at '";
+  s += site;
+  s += "'";
+  if (!candidate.empty()) {
+    s += " [";
+    s += candidate;
+    s += "]";
+  }
+  if (!detail.empty()) {
+    s += ": ";
+    s += detail;
+  }
+  return s;
+}
+
+Diagnostics diagnose_current_exception(std::string site, std::string candidate) {
+  Diagnostics d;
+  d.site = std::move(site);
+  d.candidate = std::move(candidate);
+  // Most-derived types first; NonFiniteError before its base NumericalError.
+  try {
+    throw;
+  } catch (const SweepError& e) {
+    // A whole nested sweep died: keep its dominant inner classification so
+    // outer aggregation names the root cause, not "some sweep failed".
+    d.code = e.dominant().code;
+    d.detail = e.what();
+  } catch (const NonFiniteError& e) {
+    d.code = ErrorCode::NonFinite;
+    d.detail = e.what();
+  } catch (const NumericalError& e) {
+    d.code = ErrorCode::Numerical;
+    d.detail = e.what();
+  } catch (const StructuralError& e) {
+    d.code = ErrorCode::Structural;
+    d.detail = e.what();
+  } catch (const InvalidParameter& e) {
+    d.code = ErrorCode::InvalidParameter;
+    d.detail = e.what();
+  } catch (const std::exception& e) {
+    d.code = ErrorCode::Unknown;
+    d.detail = e.what();
+  } catch (...) {
+    d.code = ErrorCode::Unknown;
+    d.detail = "non-standard exception";
+  }
+  return d;
+}
+
+void SweepReport::merge(const SweepReport& other) {
+  n_evaluated += other.n_evaluated;
+  n_survived += other.n_survived;
+  skips.insert(skips.end(), other.skips.begin(), other.skips.end());
+}
+
+Diagnostics SweepReport::dominant() const {
+  if (skips.empty()) return Diagnostics{};
+  // Count by (code, site); the winner is the most frequent pair, ties broken
+  // by first appearance so the result is independent of map iteration order.
+  std::map<std::pair<int, std::string>, std::size_t> counts;
+  for (const Diagnostics& d : skips)
+    ++counts[{static_cast<int>(d.code), d.site}];
+  const Diagnostics* best = nullptr;
+  std::size_t best_count = 0;
+  for (const Diagnostics& d : skips) {
+    const std::size_t c = counts[{static_cast<int>(d.code), d.site}];
+    if (!best || c > best_count) {
+      best = &d;
+      best_count = c;
+    }
+  }
+  return *best;
+}
+
+std::string SweepReport::summary() const {
+  std::string s = std::to_string(n_skipped()) + " of " + std::to_string(n_evaluated) +
+                  " candidate evaluations skipped (" + std::to_string(n_survived) +
+                  " survived)";
+  if (skips.empty()) return s;
+  const Diagnostics dom = dominant();
+  std::size_t dom_count = 0;
+  for (const Diagnostics& d : skips)
+    if (d.code == dom.code && d.site == dom.site) ++dom_count;
+  s += "; dominant: " + std::string(error_code_name(dom.code)) + " at '" + dom.site +
+       "' (" + std::to_string(dom_count) + " skips)";
+  for (const Diagnostics& d : skips) {
+    s += "\n  - ";
+    s += d.to_string();
+  }
+  return s;
+}
+
+void throw_all_failed(const std::string& sweep, const SweepReport& report) {
+  const Diagnostics dom = report.dominant();
+  std::size_t dom_count = 0;
+  for (const Diagnostics& d : report.skips)
+    if (d.code == dom.code && d.site == dom.site) ++dom_count;
+  std::string what = sweep + ": all " + std::to_string(report.n_evaluated) +
+                     " candidates failed; dominant reason: " +
+                     error_code_name(dom.code) + " at '" + dom.site + "' (" +
+                     std::to_string(dom_count) + "/" + std::to_string(report.n_skipped()) +
+                     " skips)";
+  if (!dom.detail.empty()) what += ": " + dom.detail;
+  throw SweepError(what, dom);
+}
+
+}  // namespace ivory

@@ -1,0 +1,157 @@
+// Fault-isolated evaluation results for sweep-level code.
+//
+// A DSE sweep evaluates thousands of candidates; one ill-conditioned circuit
+// must not abort (or silently poison) the whole run. The types here carry a
+// structured failure record — error code + site + candidate context — across
+// the thread pool so the sweep can quarantine the bad candidate, keep the
+// rest, and report every skip deterministically.
+//
+// Invariant maintained by all quarantined sweeps: for each quarantine level,
+// n_evaluated == n_survived + (skips recorded at that level). Nested sweeps
+// (explore -> optimize_sc -> variants) each count their own candidates, so a
+// merged report sums the levels.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ivory {
+
+/// Coarse failure taxonomy mirroring the exception types in error.hpp.
+/// Scoped enum: the names intentionally shadow the exception classes.
+enum class ErrorCode {
+  None = 0,         ///< evaluation succeeded
+  InvalidParameter, ///< candidate parameters outside the model's domain
+  Numerical,        ///< solver/model numerical failure (incl. injected faults)
+  NonFinite,        ///< NaN/Inf intercepted at a guarded model boundary
+  Structural,       ///< malformed topology or netlist
+  Unknown,          ///< any other exception type
+};
+
+const char* error_code_name(ErrorCode code);
+
+/// One structured skip: what failed, where, and which candidate was being
+/// evaluated. Cheap to copy; stored in SweepReport::skips.
+struct Diagnostics {
+  ErrorCode code = ErrorCode::None;
+  std::string site;       ///< quarantine site that recorded the failure
+  std::string candidate;  ///< human-readable candidate parameters
+  std::string detail;     ///< the exception's message
+
+  /// "non-finite at 'optimize_sc' [3:1 ladder SC @ dist 2]: analyze_sc ..."
+  std::string to_string() const;
+};
+
+/// Classifies the in-flight exception (call inside a catch block) into a
+/// Diagnostics record. A nested SweepError keeps its dominant inner code so
+/// aggregation at the outer level names the true root cause.
+Diagnostics diagnose_current_exception(std::string site, std::string candidate);
+
+/// Value-or-diagnostics result of one quarantined evaluation. Default state
+/// is a failure with code None ("not evaluated"), so parallel_map slots can
+/// be default-constructed before the task fills them in.
+template <typename T>
+class EvalOutcome {
+ public:
+  EvalOutcome() = default;
+
+  static EvalOutcome success(T value) {
+    EvalOutcome o;
+    o.value_ = std::move(value);
+    o.ok_ = true;
+    return o;
+  }
+
+  static EvalOutcome failure(Diagnostics diag) {
+    EvalOutcome o;
+    o.diag_ = std::move(diag);
+    return o;
+  }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  const T& value() const& {
+    if (!ok_) throw NumericalError("EvalOutcome::value on failed evaluation: " + diag_.to_string());
+    return value_;
+  }
+  T& value() & {
+    if (!ok_) throw NumericalError("EvalOutcome::value on failed evaluation: " + diag_.to_string());
+    return value_;
+  }
+
+  const Diagnostics& diagnostics() const { return diag_; }
+
+ private:
+  T value_{};
+  Diagnostics diag_{};
+  bool ok_ = false;
+};
+
+/// Runs `fn`, capturing any exception as a structured failure. The workhorse
+/// of per-candidate quarantine: sweep loops call this per candidate and
+/// record failures instead of letting them abort sibling evaluations.
+template <typename Fn>
+auto quarantine(std::string site, std::string candidate, Fn&& fn)
+    -> EvalOutcome<decltype(fn())> {
+  using Out = EvalOutcome<decltype(fn())>;
+  try {
+    return Out::success(fn());
+  } catch (...) {
+    return Out::failure(diagnose_current_exception(std::move(site), std::move(candidate)));
+  }
+}
+
+/// Per-sweep account of what was evaluated, what survived, and every skip.
+/// Sweeps build one local report per pool task and merge them serially in
+/// index order, so the report is byte-identical at any thread count.
+struct SweepReport {
+  std::size_t n_evaluated = 0;
+  std::size_t n_survived = 0;
+  std::vector<Diagnostics> skips;
+
+  std::size_t n_skipped() const { return skips.size(); }
+  bool clean() const { return skips.empty(); }
+
+  void record_survivor() {
+    ++n_evaluated;
+    ++n_survived;
+  }
+  void record_skip(Diagnostics d) {
+    ++n_evaluated;
+    skips.push_back(std::move(d));
+  }
+
+  /// Appends `other` (counters summed, skips concatenated in order).
+  void merge(const SweepReport& other);
+
+  /// The most frequent (code, site) failure among skips; ties break toward
+  /// the earliest occurrence. Returns a default Diagnostics when clean.
+  Diagnostics dominant() const;
+
+  /// Multi-line human-readable account, one line per skip.
+  std::string summary() const;
+};
+
+/// Aggregated hard failure: raised only when *every* candidate in a sweep
+/// died. Names the dominant failure reason, not the first exception hit.
+class SweepError : public std::runtime_error {
+ public:
+  SweepError(const std::string& what, Diagnostics dominant)
+      : std::runtime_error(what), dominant_(std::move(dominant)) {}
+
+  const Diagnostics& dominant() const { return dominant_; }
+
+ private:
+  Diagnostics dominant_;
+};
+
+/// Throws SweepError describing a sweep in which all candidates failed.
+[[noreturn]] void throw_all_failed(const std::string& sweep, const SweepReport& report);
+
+}  // namespace ivory

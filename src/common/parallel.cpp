@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace ivory::par {
 
@@ -64,6 +65,9 @@ struct Batch {
       const std::size_t end = std::min(begin + chunk, n);
       for (std::size_t i = begin; i < end; ++i) {
         try {
+          // Attribute fault-injection hit counting to the task index so
+          // injected failures land on the same tasks at any thread count.
+          fault::TaskScope fault_scope(i);
           (*fn)(i);
         } catch (...) {
           record_error(i, std::current_exception());

@@ -19,6 +19,9 @@ double interleave_cancellation(int n_phases, double duty) {
 }
 
 BuckAnalysis analyze_buck(const BuckDesign& d, double vin_v, double vout_v, double i_load_a) {
+  IVORY_CHECK_FINITE(vin_v, "analyze_buck");
+  IVORY_CHECK_FINITE(vout_v, "analyze_buck");
+  IVORY_CHECK_FINITE(i_load_a, "analyze_buck");
   require(vin_v > 0.0, "analyze_buck: vin must be positive");
   require(vout_v > 0.0 && vout_v < vin_v, "analyze_buck: need 0 < vout < vin");
   require(i_load_a > 0.0, "analyze_buck: load current must be positive");
@@ -111,6 +114,9 @@ BuckAnalysis analyze_buck(const BuckDesign& d, double vin_v, double vout_v, doub
   a.area_die_m2 = 1.15 * (area_sw + area_cap + per.area_m2 + (ind.on_die ? area_ind : 0.0));
   a.area_offdie_m2 = ind.on_die ? 0.0 : area_ind;
   a.area_m2 = a.area_die_m2 + a.area_offdie_m2;
+  IVORY_CHECK_FINITE(a.efficiency, "analyze_buck");
+  IVORY_CHECK_FINITE(a.ripple_pp_v, "analyze_buck");
+  IVORY_CHECK_FINITE(a.area_m2, "analyze_buck");
   return a;
 }
 

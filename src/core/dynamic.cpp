@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/units.hpp"
 
 namespace ivory::core {
@@ -131,6 +132,7 @@ DynWaveform sc_cycle_response_traces(const ScDesign& d, const std::vector<double
   times.reserve(n_cycles + 1);
   values.reserve(n_cycles + 1);
   double v = std::min(ratio * vin_v, vref_v > 0.0 ? vref_v : ratio * vin_v);
+  v += fault::inject("cycle_model");
   times.push_back(0.0);
   values.push_back(v);
 
@@ -158,6 +160,7 @@ DynWaveform sc_cycle_response_traces(const ScDesign& d, const std::vector<double
   DynWaveform out;
   out.dt_s = dt_s;
   out.v = resample(times, values, dt_s, i_load.size());
+  check_finite(out.v, "sc_cycle_response_traces: output waveform");
   return out;
 }
 
@@ -184,7 +187,7 @@ DynWaveform buck_cycle_response(const BuckDesign& d, double vin_v, double vref_v
 
   std::vector<double> times, values;
   times.reserve(n_cycles + 1);
-  double v = vref_v;
+  double v = vref_v + fault::inject("cycle_model");
   double i_l = load_mean(0.0, t);
   double integ = 0.0;
   times.push_back(0.0);
@@ -206,6 +209,7 @@ DynWaveform buck_cycle_response(const BuckDesign& d, double vin_v, double vref_v
   DynWaveform out;
   out.dt_s = dt_s;
   out.v = resample(times, values, dt_s, i_load.size());
+  check_finite(out.v, "buck_cycle_response: output waveform");
   return out;
 }
 
@@ -228,7 +232,7 @@ DynWaveform ldo_cycle_response(const LdoDesign& d, double vin_v, double vref_v,
   const WindowMean load_mean(i_load, dt_s);
 
   std::vector<double> times, values;
-  double v = vref_v;
+  double v = vref_v + fault::inject("cycle_model");
   // Start with the code that carries the initial load.
   const double i0 = load_mean(0.0, t);
   double code = std::clamp(i0 / ((vin_v - v) * g_full) * segments, 0.0, segments);
@@ -249,6 +253,7 @@ DynWaveform ldo_cycle_response(const LdoDesign& d, double vin_v, double vref_v,
   DynWaveform out;
   out.dt_s = dt_s;
   out.v = resample(times, values, dt_s, i_load.size());
+  check_finite(out.v, "ldo_cycle_response: output waveform");
   return out;
 }
 

@@ -7,6 +7,9 @@
 namespace ivory::core {
 
 LdoAnalysis analyze_ldo(const LdoDesign& d, double vin_v, double vout_v, double i_load_a) {
+  IVORY_CHECK_FINITE(vin_v, "analyze_ldo");
+  IVORY_CHECK_FINITE(vout_v, "analyze_ldo");
+  IVORY_CHECK_FINITE(i_load_a, "analyze_ldo");
   require(vin_v > 0.0, "analyze_ldo: vin must be positive");
   require(vout_v > 0.0 && vout_v < vin_v, "analyze_ldo: need 0 < vout < vin");
   require(i_load_a > 0.0, "analyze_ldo: load current must be positive");
@@ -56,6 +59,9 @@ LdoAnalysis analyze_ldo(const LdoDesign& d, double vin_v, double vout_v, double 
 
   const tech::CapacitorTech cap = tech::capacitor_tech(d.node, d.cap_kind);
   a.area_m2 = 1.15 * (dev.area(d.w_pass_m) + cap.area(d.c_out_f) + per.area_m2);
+  IVORY_CHECK_FINITE(a.efficiency, "analyze_ldo");
+  IVORY_CHECK_FINITE(a.ripple_pp_v, "analyze_ldo");
+  IVORY_CHECK_FINITE(a.area_m2, "analyze_ldo");
   return a;
 }
 

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <string>
 #include <tuple>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/optimize.hpp"
+#include "common/outcome.hpp"
 #include "common/parallel.hpp"
 
 namespace ivory::core {
@@ -81,7 +84,30 @@ double sc_area_per_conductance(const ScTopology& topo, const ChargeVectors& cv,
   return k;
 }
 
-DseResult optimize_sc(const SystemParams& sys, int n_dist) {
+// Consumes the quarantined per-candidate outcomes of one sweep in index
+// order: survivors are collected, skips recorded in `report`. When every
+// candidate died, throws the aggregated SweepError (after merging into
+// `report` so the caller still sees the individual skips).
+std::vector<DseResult> collect_survivors(const char* sweep,
+                                         const std::vector<EvalOutcome<DseResult>>& outcomes,
+                                         SweepReport& report) {
+  SweepReport local;
+  std::vector<DseResult> survivors;
+  survivors.reserve(outcomes.size());
+  for (const EvalOutcome<DseResult>& o : outcomes) {
+    if (o.ok()) {
+      local.record_survivor();
+      survivors.push_back(o.value());
+    } else {
+      local.record_skip(o.diagnostics());
+    }
+  }
+  report.merge(local);
+  if (local.n_survived == 0 && local.n_evaluated > 0) throw_all_failed(sweep, local);
+  return survivors;
+}
+
+DseResult optimize_sc(const SystemParams& sys, int n_dist, SweepReport& report) {
   const double area_ivr = sys.area_max_m2 / n_dist;
   const double i_ivr = sys.p_load_w / sys.vout_v / n_dist;
   const tech::CapacitorTech cap = tech::capacitor_tech(sys.node, sys.cap_kind);
@@ -100,8 +126,17 @@ DseResult optimize_sc(const SystemParams& sys, int n_dist) {
 
   // Every variant is an independent pure task: fan the ratio x family grid
   // out over the pool and reduce the per-variant winners in index order.
-  const std::vector<DseResult> variant_best =
-      par::parallel_map<DseResult>(variants.size(), [&](std::size_t vi) {
+  // Each variant evaluates under quarantine — one ill-conditioned ratio
+  // becomes a recorded skip, not an aborted sweep.
+  const std::vector<EvalOutcome<DseResult>> variant_best =
+      par::parallel_map<EvalOutcome<DseResult>>(variants.size(), [&](std::size_t vi) {
+    const auto& [vratio, vfamily] = variants[vi];
+    const std::string candidate = std::to_string(vratio.first) + ":" +
+                                  std::to_string(vratio.second) +
+                                  (vfamily == ScFamily::SeriesParallel ? " series-parallel"
+                                                                       : " ladder") +
+                                  " SC @ dist " + std::to_string(n_dist);
+    return quarantine("optimize_sc", candidate, [&]() -> DseResult {
     const auto& [ratio, family] = variants[vi];
     const auto& [n, m] = ratio;
     const ScStaticAnalysis& st = sc_static_analysis(n, m, family);
@@ -193,13 +228,14 @@ DseResult optimize_sc(const SystemParams& sys, int n_dist) {
     const ScalarOptimum opt = golden_maximize(objective, std::max(0.50, best_x - 0.03),
                                               std::min(0.98, best_x + 0.03), 1e-4);
     return evaluate_split(opt.f > best_f ? opt.x : best_x);
+    });
   });
-  return reduce_best(variant_best, std::move(bestr));
+  return reduce_best(collect_survivors("optimize_sc", variant_best, report), std::move(bestr));
 }
 
 // --- Buck --------------------------------------------------------------------
 
-DseResult optimize_buck(const SystemParams& sys, int n_dist) {
+DseResult optimize_buck(const SystemParams& sys, int n_dist, SweepReport& report) {
   const double area_ivr = sys.area_max_m2 / n_dist;
   const double i_ivr = sys.p_load_w / sys.vout_v / n_dist;
   const tech::CapacitorTech cap = tech::capacitor_tech(sys.node, sys.cap_kind);
@@ -259,7 +295,12 @@ DseResult optimize_buck(const SystemParams& sys, int n_dist) {
       r.buck = d;
       r.label = "buck";
     } catch (const InvalidParameter&) {
-      // Unreachable operating point for this sizing.
+      // Unreachable operating point for this sizing: a domain rejection, so
+      // the point stays in the sweep as infeasible. Anything else (numerical
+      // failure, non-finite guard) propagates to the per-candidate
+      // quarantine below instead of silently zeroing the point — the old
+      // catch-all here let one NumericalError abort the whole sweep once it
+      // escaped the pool.
     }
     return r;
   };
@@ -273,23 +314,29 @@ DseResult optimize_buck(const SystemParams& sys, int n_dist) {
       for (double sw_util : {0.03, 0.07, 0.15, 0.3, 0.6, 1.0})
         grid.emplace_back(n_phases, l_frac, sw_util);
 
-  const std::vector<DseResult> grid_best =
-      par::parallel_map<DseResult>(grid.size(), [&](std::size_t gi) {
+  const std::vector<EvalOutcome<DseResult>> grid_best =
+      par::parallel_map<EvalOutcome<DseResult>>(grid.size(), [&](std::size_t gi) {
         const auto& [n_phases, l_frac, sw_util] = grid[gi];
-        const ScalarOptimum opt = log_grid_minimize(
-            [&](double f) {
-              const DseResult r = evaluate(n_phases, l_frac, sw_util, f);
-              return r.feasible ? 1.0 - r.efficiency : 2.0;
-            },
-            2e6, 1e9, 48);
-        return evaluate(n_phases, l_frac, sw_util, opt.x);
+        const std::string candidate = "buck " + std::to_string(n_phases) + "-phase l_frac " +
+                                      std::to_string(l_frac) + " sw_util " +
+                                      std::to_string(sw_util) + " @ dist " +
+                                      std::to_string(n_dist);
+        return quarantine("optimize_buck", candidate, [&, n_phases, l_frac, sw_util] {
+          const ScalarOptimum opt = log_grid_minimize(
+              [&](double f) {
+                const DseResult r = evaluate(n_phases, l_frac, sw_util, f);
+                return r.feasible ? 1.0 - r.efficiency : 2.0;
+              },
+              2e6, 1e9, 48);
+          return evaluate(n_phases, l_frac, sw_util, opt.x);
+        });
       });
-  return reduce_best(grid_best, std::move(bestr));
+  return reduce_best(collect_survivors("optimize_buck", grid_best, report), std::move(bestr));
 }
 
 // --- LDO ---------------------------------------------------------------------
 
-DseResult optimize_ldo(const SystemParams& sys, int n_dist) {
+DseResult optimize_ldo(const SystemParams& sys, int n_dist, SweepReport& report) {
   const double area_ivr = sys.area_max_m2 / n_dist;
   const double i_ivr = sys.p_load_w / sys.vout_v / n_dist;
   const tech::CapacitorTech cap = tech::capacitor_tech(sys.node, sys.cap_kind);
@@ -303,21 +350,21 @@ DseResult optimize_ldo(const SystemParams& sys, int n_dist) {
   r.n_distributed = n_dist;
   r.label = "LDO";
 
-  LdoDesign d;
-  d.node = sys.node;
-  d.cap_kind = sys.cap_kind;
-  d.n_bits = 8;
-  // Pass device sized so the fully-on drop is 20% of the available headroom.
-  const double r_pass = 0.2 * (sys.vin_v - sys.vout_v) / i_ivr;
-  d.w_pass_m = dev.ron_w_ohm_m / r_pass;
-  // Half the area goes to output decap; clock chosen to hit the ripple
-  // budget with one-LSB limit cycling.
-  d.c_out_f = 0.5 * area_ivr / 1.15 * cap.density_f_m2;
-  const double i_lsb = (sys.vin_v - sys.vout_v) / r_pass / std::pow(2.0, d.n_bits);
-  d.f_clk_hz = std::clamp(i_lsb / (0.8 * sys.ripple_max_v * d.c_out_f), 10e6, 3e9);
-  d.i_quiescent_a = 0.002 * i_ivr;
-
   try {
+    LdoDesign d;
+    d.node = sys.node;
+    d.cap_kind = sys.cap_kind;
+    d.n_bits = 8;
+    // Pass device sized so the fully-on drop is 20% of the available headroom.
+    const double r_pass = 0.2 * (sys.vin_v - sys.vout_v) / i_ivr;
+    d.w_pass_m = dev.ron_w_ohm_m / r_pass;
+    // Half the area goes to output decap; clock chosen to hit the ripple
+    // budget with one-LSB limit cycling.
+    d.c_out_f = 0.5 * area_ivr / 1.15 * cap.density_f_m2;
+    const double i_lsb = (sys.vin_v - sys.vout_v) / r_pass / std::pow(2.0, d.n_bits);
+    d.f_clk_hz = std::clamp(i_lsb / (0.8 * sys.ripple_max_v * d.c_out_f), 10e6, 3e9);
+    d.i_quiescent_a = 0.002 * i_ivr;
+
     const LdoAnalysis a = analyze_ldo(d, sys.vin_v, sys.vout_v, i_ivr);
     r.feasible = a.ripple_pp_v <= sys.ripple_max_v && a.area_m2 <= area_ivr * 1.05;
     r.efficiency = a.efficiency;
@@ -325,27 +372,62 @@ DseResult optimize_ldo(const SystemParams& sys, int n_dist) {
     r.f_sw_hz = d.f_clk_hz;
     r.area_m2 = a.area_m2 * n_dist;
     r.ldo = d;
+    report.record_survivor();
   } catch (const InvalidParameter&) {
-    // Leaves feasible = false.
+    // Domain rejection (e.g. pass device too narrow): the candidate stays in
+    // the sweep as infeasible. The previous catch here was the only one, so
+    // a NumericalError used to unwind through the whole explore() sweep.
+    report.record_survivor();
+  } catch (...) {
+    SweepReport local;
+    local.record_skip(diagnose_current_exception(
+        "optimize_ldo", "LDO @ dist " + std::to_string(n_dist)));
+    report.merge(local);
+    // The LDO sweep has exactly one candidate, so its death is by definition
+    // the every-candidate-died case.
+    throw_all_failed("optimize_ldo", local);
   }
   return r;
 }
 
-}  // namespace
-
-DseResult optimize_topology(const SystemParams& sys, IvrTopology topo, int n_distributed) {
-  check_sys(sys);
-  require(n_distributed >= 1 && n_distributed <= sys.max_distributed,
-          "optimize_topology: distribution count out of range");
+// Dispatch shared by the public entry point and the quarantined sweeps.
+// check_sys/range validation stays with the public wrappers: user-input
+// errors are not candidate faults and must keep throwing InvalidParameter.
+DseResult optimize_topology_impl(const SystemParams& sys, IvrTopology topo, int n_distributed,
+                                 SweepReport& report) {
+  // Whole-sweep injection point: in Throw mode the point dies before any
+  // candidate runs; in EmitNan mode the poisoned load power rides into every
+  // candidate and trips the models' finite guards.
+  SystemParams s = sys;
+  s.p_load_w += fault::inject("optimize_topology");
   switch (topo) {
-    case IvrTopology::SwitchedCapacitor: return optimize_sc(sys, n_distributed);
-    case IvrTopology::Buck: return optimize_buck(sys, n_distributed);
-    case IvrTopology::LinearRegulator: return optimize_ldo(sys, n_distributed);
+    case IvrTopology::SwitchedCapacitor: return optimize_sc(s, n_distributed, report);
+    case IvrTopology::Buck: return optimize_buck(s, n_distributed, report);
+    case IvrTopology::LinearRegulator: return optimize_ldo(s, n_distributed, report);
   }
   throw InvalidParameter("optimize_topology: unknown topology");
 }
 
-std::vector<DseResult> explore(const SystemParams& sys, OptTarget target) {
+}  // namespace
+
+DseResult optimize_topology(const SystemParams& sys, IvrTopology topo, int n_distributed,
+                            SweepReport* report) {
+  check_sys(sys);
+  require(n_distributed >= 1 && n_distributed <= sys.max_distributed,
+          "optimize_topology: distribution count out of range");
+  SweepReport local;
+  try {
+    const DseResult r = optimize_topology_impl(sys, topo, n_distributed, local);
+    if (report) report->merge(local);
+    return r;
+  } catch (...) {
+    // Merge even on failure so the caller's report names what died.
+    if (report) report->merge(local);
+    throw;
+  }
+}
+
+std::vector<DseResult> explore(const SystemParams& sys, OptTarget target, SweepReport* report) {
   check_sys(sys);
   // Fan the topology x distribution-count points out over the pool. Each
   // point is a pure function of (sys, topo, n); results land in the serial
@@ -357,9 +439,42 @@ std::vector<DseResult> explore(const SystemParams& sys, OptTarget target) {
                            IvrTopology::LinearRegulator}) {
     for (int n = 1; n <= sys.max_distributed; n *= 2) points.emplace_back(topo, n);
   }
-  std::vector<DseResult> all = par::parallel_map<DseResult>(points.size(), [&](std::size_t i) {
-    return optimize_topology(sys, points[i].first, points[i].second);
-  });
+
+  // Each point is quarantined with its own inner report; the serial
+  // index-order merge below keeps results and report thread-count-invariant.
+  struct PointCell {
+    EvalOutcome<DseResult> outcome;
+    SweepReport inner;
+  };
+  const std::vector<PointCell> cells =
+      par::parallel_map<PointCell>(points.size(), [&](std::size_t i) {
+        PointCell cell;
+        const std::string candidate = std::string(topology_name(points[i].first)) +
+                                      " @ dist " + std::to_string(points[i].second);
+        cell.outcome = quarantine("explore", candidate, [&] {
+          return optimize_topology_impl(sys, points[i].first, points[i].second, cell.inner);
+        });
+        return cell;
+      });
+
+  SweepReport merged;       // inner candidate records + point-level records
+  SweepReport point_level;  // drives the all-points-died aggregation
+  std::vector<DseResult> all;
+  all.reserve(cells.size());
+  for (const PointCell& cell : cells) {
+    merged.merge(cell.inner);
+    if (cell.outcome.ok()) {
+      point_level.record_survivor();
+      all.push_back(cell.outcome.value());
+    } else {
+      point_level.record_skip(cell.outcome.diagnostics());
+    }
+  }
+  merged.merge(point_level);
+  if (report) report->merge(merged);
+  if (point_level.n_survived == 0 && point_level.n_evaluated > 0)
+    throw_all_failed("explore", point_level);
+
   std::stable_sort(all.begin(), all.end(), [target](const DseResult& a, const DseResult& b) {
     if (a.feasible != b.feasible) return a.feasible;
     switch (target) {
@@ -378,7 +493,8 @@ DseResult best_design(const SystemParams& sys, OptTarget target) {
   return all.front();
 }
 
-TwoStageResult optimize_two_stage(const SystemParams& sys, int n_distributed) {
+TwoStageResult optimize_two_stage(const SystemParams& sys, int n_distributed,
+                                  SweepReport* report) {
   check_sys(sys);
   require(n_distributed >= 1 && n_distributed <= sys.max_distributed,
           "optimize_two_stage: distribution count out of range");
@@ -392,41 +508,69 @@ TwoStageResult optimize_two_stage(const SystemParams& sys, int n_distributed) {
     for (double a1 : {0.25, 0.40, 0.55}) grid.emplace_back(v_mid, a1);
   }
 
-  const std::vector<TwoStageResult> cascades =
-      par::parallel_map<TwoStageResult>(grid.size(), [&](std::size_t gi) {
-        const auto& [v_mid, a1] = grid[gi];
-        TwoStageResult cand;
-        // Stage 2 first: v_mid -> vout, distributed, sets the power stage 1
-        // must carry.
-        SystemParams s2 = sys;
-        s2.vin_v = v_mid;
-        s2.area_max_m2 = sys.area_max_m2 * (1.0 - a1);
-        const DseResult r2 =
-            optimize_topology(s2, IvrTopology::SwitchedCapacitor, n_distributed);
-        if (!r2.feasible) return cand;
+  // Same quarantine structure as explore(): per-cascade inner reports merged
+  // serially in grid order so the outcome is thread-count-invariant.
+  struct CascadeCell {
+    EvalOutcome<TwoStageResult> outcome;
+    SweepReport inner;
+  };
+  const std::vector<CascadeCell> cells =
+      par::parallel_map<CascadeCell>(grid.size(), [&](std::size_t gi) {
+        const auto& [gv_mid, ga1] = grid[gi];
+        CascadeCell cell;
+        const std::string candidate = "cascade v_mid " + std::to_string(gv_mid) +
+                                      " a1 " + std::to_string(ga1);
+        cell.outcome = quarantine("optimize_two_stage", candidate, [&] {
+          const auto& [v_mid, a1] = grid[gi];
+          TwoStageResult cand;
+          // Stage 2 first: v_mid -> vout, distributed, sets the power stage 1
+          // must carry. Grid construction guarantees valid rails, so the
+          // impl entry (no re-check_sys) is safe here.
+          SystemParams s2 = sys;
+          s2.vin_v = v_mid;
+          s2.area_max_m2 = sys.area_max_m2 * (1.0 - a1);
+          const DseResult r2 = optimize_topology_impl(s2, IvrTopology::SwitchedCapacitor,
+                                                      n_distributed, cell.inner);
+          if (!r2.feasible) return cand;
 
-        SystemParams s1 = sys;
-        s1.vout_v = v_mid;
-        s1.area_max_m2 = sys.area_max_m2 * a1;
-        s1.p_load_w = sys.p_load_w / r2.efficiency;  // Stage 1 carries stage 2's input.
-        // The intermediate rail tolerates more ripple than the core rail.
-        s1.ripple_max_v = 5.0 * sys.ripple_max_v;
-        const DseResult r1 = optimize_topology(s1, IvrTopology::SwitchedCapacitor, 1);
-        if (!r1.feasible) return cand;
+          SystemParams s1 = sys;
+          s1.vout_v = v_mid;
+          s1.area_max_m2 = sys.area_max_m2 * a1;
+          s1.p_load_w = sys.p_load_w / r2.efficiency;  // Stage 1 carries stage 2's input.
+          // The intermediate rail tolerates more ripple than the core rail.
+          s1.ripple_max_v = 5.0 * sys.ripple_max_v;
+          const DseResult r1 =
+              optimize_topology_impl(s1, IvrTopology::SwitchedCapacitor, 1, cell.inner);
+          if (!r1.feasible) return cand;
 
-        cand.feasible = true;
-        cand.v_mid_v = v_mid;
-        cand.area_frac_stage1 = a1;
-        cand.stage1 = r1;
-        cand.stage2 = r2;
-        cand.efficiency = r1.efficiency * r2.efficiency;
-        return cand;
+          cand.feasible = true;
+          cand.v_mid_v = v_mid;
+          cand.area_frac_stage1 = a1;
+          cand.stage1 = r1;
+          cand.stage2 = r2;
+          cand.efficiency = r1.efficiency * r2.efficiency;
+          return cand;
+        });
+        return cell;
       });
 
+  SweepReport merged;
+  SweepReport cascade_level;
   TwoStageResult best;
-  for (const TwoStageResult& cand : cascades) {
-    if (cand.feasible && (!best.feasible || cand.efficiency > best.efficiency)) best = cand;
+  for (const CascadeCell& cell : cells) {
+    merged.merge(cell.inner);
+    if (cell.outcome.ok()) {
+      cascade_level.record_survivor();
+      const TwoStageResult& cand = cell.outcome.value();
+      if (cand.feasible && (!best.feasible || cand.efficiency > best.efficiency)) best = cand;
+    } else {
+      cascade_level.record_skip(cell.outcome.diagnostics());
+    }
   }
+  merged.merge(cascade_level);
+  if (report) report->merge(merged);
+  if (cascade_level.n_survived == 0 && cascade_level.n_evaluated > 0)
+    throw_all_failed("optimize_two_stage", cascade_level);
   return best;
 }
 

@@ -3,11 +3,21 @@
 // width, capacitor/inductor area allocation, interleaving, and distribution
 // count under the user's constraints. Maximum conversion efficiency is the
 // default target, per the paper; area and supply noise are selectable.
+// Fault isolation: every sweep evaluates its candidates under per-candidate
+// quarantine. A candidate whose evaluation throws (numerical failure,
+// non-finite guard, injected fault) is recorded as a structured skip in the
+// optional SweepReport and dropped from the results; a candidate that is
+// merely infeasible (domain rejection) stays in the results with
+// feasible = false. Only when *every* candidate of a sweep dies does the
+// sweep itself throw — a single aggregated SweepError naming the dominant
+// failure reason. Reports are merged serially in task-index order, so both
+// the results and the report are byte-identical at any thread count.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "common/outcome.hpp"
 #include "core/buck_model.hpp"
 #include "core/ldo_model.hpp"
 #include "core/sc_model.hpp"
@@ -54,12 +64,17 @@ struct DseResult {
 
 /// Optimizes one topology family for `n_distributed` IVRs sharing the load
 /// and area budget equally. Returns feasible=false when no design meets the
-/// constraints.
-DseResult optimize_topology(const SystemParams& sys, IvrTopology topo, int n_distributed);
+/// constraints. When `report` is non-null, every quarantined candidate skip
+/// is appended to it (also on throw, so the caller can see what died).
+DseResult optimize_topology(const SystemParams& sys, IvrTopology topo, int n_distributed,
+                            SweepReport* report = nullptr);
 
 /// Full sweep: every topology x distribution count in {1, 2, ..., max}
-/// (powers of two), ordered by the optimization target (best first).
-std::vector<DseResult> explore(const SystemParams& sys, OptTarget target = OptTarget::Efficiency);
+/// (powers of two), ordered by the optimization target (best first). A sweep
+/// point whose evaluation throws is omitted from the results and recorded in
+/// `report`; if every point dies, throws one aggregated SweepError.
+std::vector<DseResult> explore(const SystemParams& sys, OptTarget target = OptTarget::Efficiency,
+                               SweepReport* report = nullptr);
 
 /// The single best design under `target`.
 DseResult best_design(const SystemParams& sys, OptTarget target = OptTarget::Efficiency);
@@ -83,6 +98,7 @@ struct TwoStageResult {
   DseResult stage2;            ///< v_mid -> vout, distributed n_distributed ways.
   double efficiency = 0.0;     ///< Cascade: eta1 * eta2.
 };
-TwoStageResult optimize_two_stage(const SystemParams& sys, int n_distributed);
+TwoStageResult optimize_two_stage(const SystemParams& sys, int n_distributed,
+                                  SweepReport* report = nullptr);
 
 }  // namespace ivory::core

@@ -1,8 +1,10 @@
 #include "core/pds.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace ivory::core {
 
@@ -21,6 +23,9 @@ double series_pdn_resistance(const pdn::PdnParams& p) {
 }
 
 void check_inputs(const SystemParams& sys, double v_core_nom_v, double guardband_v) {
+  IVORY_CHECK_FINITE(v_core_nom_v, "evaluate_pds");
+  IVORY_CHECK_FINITE(guardband_v, "evaluate_pds");
+  IVORY_CHECK_FINITE(sys.p_load_w, "evaluate_pds");
   require(v_core_nom_v > 0.0, "evaluate_pds: core voltage must be positive");
   require(guardband_v >= 0.0, "evaluate_pds: guardband must be non-negative");
   require(sys.p_load_w > 0.0, "evaluate_pds: load power must be positive");
@@ -33,7 +38,7 @@ PdsBreakdown evaluate_pds_offchip(const SystemParams& sys, const pdn::PdnParams&
   check_inputs(sys, v_core_nom_v, guardband_v);
 
   PdsBreakdown b;
-  b.v_core_actual_v = v_core_nom_v + guardband_v;
+  b.v_core_actual_v = v_core_nom_v + guardband_v + fault::inject("pds");
   b.p_core_useful_w = sys.p_load_w;
   const double p_core = core_power_at(sys.p_load_w, v_core_nom_v, b.v_core_actual_v);
   b.p_guardband_w = p_core - sys.p_load_w;
@@ -48,6 +53,8 @@ PdsBreakdown evaluate_pds_offchip(const SystemParams& sys, const pdn::PdnParams&
   b.p_total_w = vrm.input_power(p_vrm_out);
   b.p_vrm_loss_w = b.p_total_w - p_vrm_out;
   b.efficiency = b.p_core_useful_w / b.p_total_w;
+  IVORY_CHECK_FINITE(b.p_total_w, "evaluate_pds_offchip");
+  IVORY_CHECK_FINITE(b.efficiency, "evaluate_pds_offchip");
   return b;
 }
 
@@ -59,7 +66,7 @@ PdsBreakdown evaluate_pds_ivr(const SystemParams& sys, const pdn::PdnParams& pdn
           "evaluate_pds_ivr: IVR efficiency out of range");
 
   PdsBreakdown b;
-  b.v_core_actual_v = v_core_nom_v + guardband_v;
+  b.v_core_actual_v = v_core_nom_v + guardband_v + fault::inject("pds");
   b.p_core_useful_w = sys.p_load_w;
   const double p_core = core_power_at(sys.p_load_w, v_core_nom_v, b.v_core_actual_v);
   b.p_guardband_w = p_core - sys.p_load_w;
@@ -83,7 +90,27 @@ PdsBreakdown evaluate_pds_ivr(const SystemParams& sys, const pdn::PdnParams& pdn
   b.p_total_w = vrm.input_power(p_vrm_out);
   b.p_vrm_loss_w = b.p_total_w - p_vrm_out;
   b.efficiency = b.p_core_useful_w / b.p_total_w;
+  IVORY_CHECK_FINITE(b.p_total_w, "evaluate_pds_ivr");
+  IVORY_CHECK_FINITE(b.efficiency, "evaluate_pds_ivr");
   return b;
+}
+
+EvalOutcome<PdsBreakdown> try_evaluate_pds_offchip(const SystemParams& sys,
+                                                   const pdn::PdnParams& pdn_params,
+                                                   double v_core_nom_v, double guardband_v) {
+  return quarantine("evaluate_pds_offchip", "off-chip VRM PDS", [&] {
+    return evaluate_pds_offchip(sys, pdn_params, v_core_nom_v, guardband_v);
+  });
+}
+
+EvalOutcome<PdsBreakdown> try_evaluate_pds_ivr(const SystemParams& sys,
+                                               const pdn::PdnParams& pdn_params,
+                                               const DseResult& ivr, double v_core_nom_v,
+                                               double guardband_v) {
+  return quarantine("evaluate_pds_ivr",
+                    "IVR PDS @ dist " + std::to_string(ivr.n_distributed), [&] {
+                      return evaluate_pds_ivr(sys, pdn_params, ivr, v_core_nom_v, guardband_v);
+                    });
 }
 
 }  // namespace ivory::core

@@ -8,6 +8,7 @@
 // over total power."
 #pragma once
 
+#include "common/outcome.hpp"
 #include "core/optimizer.hpp"
 #include "pdn/pdn.hpp"
 
@@ -38,5 +39,16 @@ PdsBreakdown evaluate_pds_offchip(const SystemParams& sys, const pdn::PdnParams&
 /// dynamic analysis of the chosen distribution count).
 PdsBreakdown evaluate_pds_ivr(const SystemParams& sys, const pdn::PdnParams& pdn_params,
                               const DseResult& ivr, double v_core_nom_v, double guardband_v);
+
+/// Quarantined variants of the two compositions: any exception (bad inputs,
+/// infeasible IVR, non-finite intermediate) comes back as a structured
+/// Diagnostics instead of unwinding through a sweep.
+EvalOutcome<PdsBreakdown> try_evaluate_pds_offchip(const SystemParams& sys,
+                                                   const pdn::PdnParams& pdn_params,
+                                                   double v_core_nom_v, double guardband_v);
+EvalOutcome<PdsBreakdown> try_evaluate_pds_ivr(const SystemParams& sys,
+                                               const pdn::PdnParams& pdn_params,
+                                               const DseResult& ivr, double v_core_nom_v,
+                                               double guardband_v);
 
 }  // namespace ivory::core

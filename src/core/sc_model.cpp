@@ -60,6 +60,10 @@ ScAnalysis analyze_at(const ScDesign& d, double vin_v, double i_load_a, double f
   a.rssl_ohm = sum_ac * sum_ac / (d.c_fly_f * f_sw);
   a.rfsl_ohm = sum_ar * sum_ar / (d.g_tot_s * d.duty);
   a.rout_ohm = std::hypot(a.rssl_ohm, a.rfsl_ohm);
+  // Guard before the vout feasibility check below: a NaN output impedance
+  // must surface as NonFiniteError, not as a bogus "load collapses the
+  // output" domain rejection (NaN fails every comparison).
+  IVORY_CHECK_FINITE(a.rout_ohm, "analyze_sc");
 
   a.vout_v = a.vout_ideal_v - i_load_a * a.rout_ohm;
   require(a.vout_v > 0.0, "analyze_sc: load collapses the output (vout <= 0)");
@@ -140,6 +144,9 @@ ScAnalysis analyze_at(const ScDesign& d, double vin_v, double i_load_a, double f
   a.area_peripheral_m2 = per.area_m2;
   // 15% wiring/keep-out overhead.
   a.area_m2 = 1.15 * (a.area_caps_m2 + a.area_switches_m2 + a.area_peripheral_m2);
+  IVORY_CHECK_FINITE(a.efficiency, "analyze_sc");
+  IVORY_CHECK_FINITE(a.ripple_pp_v, "analyze_sc");
+  IVORY_CHECK_FINITE(a.area_m2, "analyze_sc");
   return a;
 }
 
@@ -147,6 +154,8 @@ ScAnalysis analyze_at(const ScDesign& d, double vin_v, double i_load_a, double f
 
 ScAnalysis analyze_sc(const ScDesign& d, double vin_v, double i_load_a) {
   check_design(d);
+  IVORY_CHECK_FINITE(vin_v, "analyze_sc");
+  IVORY_CHECK_FINITE(i_load_a, "analyze_sc");
   require(vin_v > 0.0, "analyze_sc: vin must be positive");
   require(i_load_a > 0.0, "analyze_sc: load current must be positive");
   return analyze_at(d, vin_v, i_load_a, d.f_sw_hz);
@@ -155,6 +164,9 @@ ScAnalysis analyze_sc(const ScDesign& d, double vin_v, double i_load_a) {
 ScRegulated analyze_sc_regulated(const ScDesign& d, double vin_v, double vout_target_v,
                                  double i_load_a) {
   check_design(d);
+  IVORY_CHECK_FINITE(vin_v, "analyze_sc_regulated");
+  IVORY_CHECK_FINITE(vout_target_v, "analyze_sc_regulated");
+  IVORY_CHECK_FINITE(i_load_a, "analyze_sc_regulated");
   require(vin_v > 0.0, "analyze_sc_regulated: vin must be positive");
   require(vout_target_v > 0.0, "analyze_sc_regulated: vout target must be positive");
   require(i_load_a > 0.0, "analyze_sc_regulated: load current must be positive");
@@ -165,6 +177,10 @@ ScRegulated analyze_sc_regulated(const ScDesign& d, double vin_v, double vout_ta
   const double sum_ar = cv.sum_ar();
   const double vout_ideal = st.get().topo.ideal_ratio() * vin_v;
   const double rfsl = sum_ar * sum_ar / (d.g_tot_s * d.duty);
+  // A NaN charge-multiplier sum would sail through the feasibility
+  // comparisons below (NaN compares false) and reach analyze_at; stop it
+  // here with the proper classification.
+  IVORY_CHECK_FINITE(rfsl, "analyze_sc_regulated");
 
   ScRegulated out;
   const double r_needed = (vout_ideal - vout_target_v) / i_load_a;
@@ -176,6 +192,7 @@ ScRegulated analyze_sc_regulated(const ScDesign& d, double vin_v, double vout_ta
 
   const double rssl_needed = std::sqrt(r_needed * r_needed - rfsl * rfsl);
   const double f_used = sum_ac * sum_ac / (d.c_fly_f * rssl_needed);
+  IVORY_CHECK_FINITE(f_used, "analyze_sc_regulated");
   out.feasible = true;
   out.f_sw_used_hz = f_used;
   out.analysis = analyze_at(d, vin_v, i_load_a, f_used);

@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/matrix.hpp"
 #include "spice/phase_clock.hpp"
 
@@ -250,8 +251,9 @@ ChargeVectors charge_vectors(const ScTopology& t) {
 // Memoized static analysis
 // ---------------------------------------------------------------------------
 
-const ScStaticAnalysis& sc_static_analysis(int n, int m, ScFamily family) {
-  if (family == ScFamily::Auto) family = m == 1 ? ScFamily::SeriesParallel : ScFamily::Ladder;
+namespace {
+
+const ScStaticAnalysis& sc_static_analysis_cached(int n, int m, ScFamily family) {
   using Key = std::tuple<int, int, int>;
   // unique_ptr values keep entries at stable addresses; the map only grows.
   static std::mutex mutex;
@@ -273,6 +275,27 @@ const ScStaticAnalysis& sc_static_analysis(int n, int m, ScFamily family) {
   const auto [it, inserted] = cache.try_emplace(key, std::move(fresh));
   (void)inserted;
   return *it->second;
+}
+
+}  // namespace
+
+const ScStaticAnalysis& sc_static_analysis(int n, int m, ScFamily family) {
+  if (family == ScFamily::Auto) family = m == 1 ? ScFamily::SeriesParallel : ScFamily::Ladder;
+  // Injection point for the fault harness. The probe fires per *call* (not
+  // per derivation) so injected behaviour is independent of cache warmth. In
+  // EmitNan mode the NaN is folded into a thread-local copy, never into the
+  // shared cache entry.
+  const double injected = fault::inject("sc_static_analysis");
+  const ScStaticAnalysis& clean = sc_static_analysis_cached(n, m, family);
+  if (std::isnan(injected)) {
+    thread_local ScStaticAnalysis poisoned;
+    poisoned = clean;
+    for (double& a : poisoned.cv.a_cap) a += injected;
+    for (double& a : poisoned.cv.a_switch) a += injected;
+    poisoned.cv.q_in += injected;
+    return poisoned;
+  }
+  return clean;
 }
 
 // ---------------------------------------------------------------------------

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/units.hpp"
 #include "spice/analysis.hpp"
 
@@ -71,14 +72,14 @@ std::complex<double> input_impedance(const PdnParams& p, double f_hz) {
   require(f_hz > 0.0, "input_impedance: frequency must be positive");
   const double w = 2.0 * pi * f_hz;
   // From the VRM (ideal: 0 ohm) outward toward the die.
-  C z = C(0.0, 0.0);
+  C z = C(fault::inject("pdn_transfer"), 0.0);
   for (const LadderStage* s : {&p.board, &p.package, &p.c4}) {
     z += C(s->r_ohm, w * s->l_h);
     z = parallel(z, shunt_impedance(s->decap_f, s->decap_esr_ohm, w));
   }
   z += C(p.grid_r_ohm, w * p.grid_l_h);
   z = parallel(z, shunt_impedance(p.ondie_decap_f, p.ondie_decap_esr_ohm, w));
-  return z;
+  return check_finite(z, "input_impedance: PDN transfer");
 }
 
 ImpedancePeak find_impedance_peak(const PdnParams& p, double f_lo, double f_hi, int n_pts) {
@@ -150,7 +151,7 @@ std::vector<double> simulate_die_voltage(const PdnParams& p, double v_supply,
   spec.dt = dt;
   spec.record_nodes = {nodes.die};
   const spice::TranResult res = spice::transient(c, spec);
-  return res.at(nodes.die);
+  return check_finite(res.at(nodes.die), "simulate_die_voltage: die voltage trace");
 }
 
 double VrmModel::efficiency(double i_a) const {

@@ -42,6 +42,19 @@ std::vector<std::string> tokenize(const std::string& line) {
   return out;
 }
 
+// Wraps parse_spice_value so a bad token surfaces as a StructuralError that
+// names the line, the role of the value, and the offending token itself —
+// "netlist line 7: bad resistance token '1x5': ...".
+double value_at(const std::vector<std::string>& tok, std::size_t i, int line, const char* what) {
+  if (i >= tok.size()) fail(line, std::string("missing ") + what + " token (line has only " +
+                                      std::to_string(tok.size()) + " tokens)");
+  try {
+    return parse_spice_value(tok[i]);
+  } catch (const std::exception& e) {
+    fail(line, std::string("bad ") + what + " token '" + tok[i] + "': " + e.what());
+  }
+}
+
 }  // namespace
 
 double parse_spice_value(const std::string& token) {
@@ -78,33 +91,39 @@ Waveform parse_source(const std::vector<std::string>& tok, std::size_t i, int li
   const std::string& kind = tok[i];
   if (kind == "dc") {
     if (i + 1 >= tok.size()) fail(line, "DC needs a value");
-    return Waveform::dc(parse_spice_value(tok[i + 1]));
+    return Waveform::dc(value_at(tok, i + 1, line, "DC value"));
   }
   if (kind == "pulse") {
-    if (i + 7 >= tok.size()) fail(line, "PULSE needs 7 values");
+    if (i + 7 >= tok.size())
+      fail(line, "PULSE needs 7 values, got " + std::to_string(tok.size() - i - 1));
     double v[7];
-    for (int k = 0; k < 7; ++k) v[k] = parse_spice_value(tok[i + 1 + static_cast<std::size_t>(k)]);
+    for (int k = 0; k < 7; ++k)
+      v[k] = value_at(tok, i + 1 + static_cast<std::size_t>(k), line, "PULSE value");
     return Waveform::pulse(v[0], v[1], v[2], v[3], v[4], v[5], v[6]);
   }
   if (kind == "sin") {
-    if (i + 3 >= tok.size()) fail(line, "SIN needs at least 3 values");
-    const double off = parse_spice_value(tok[i + 1]);
-    const double amp = parse_spice_value(tok[i + 2]);
-    const double freq = parse_spice_value(tok[i + 3]);
-    const double td = i + 4 < tok.size() ? parse_spice_value(tok[i + 4]) : 0.0;
-    const double ph = i + 5 < tok.size() ? parse_spice_value(tok[i + 5]) : 0.0;
+    if (i + 3 >= tok.size())
+      fail(line, "SIN needs at least 3 values, got " + std::to_string(tok.size() - i - 1));
+    const double off = value_at(tok, i + 1, line, "SIN offset");
+    const double amp = value_at(tok, i + 2, line, "SIN amplitude");
+    const double freq = value_at(tok, i + 3, line, "SIN frequency");
+    const double td = i + 4 < tok.size() ? value_at(tok, i + 4, line, "SIN delay") : 0.0;
+    const double ph = i + 5 < tok.size() ? value_at(tok, i + 5, line, "SIN phase") : 0.0;
     return Waveform::sine(off, amp, freq, td, ph);
   }
   if (kind == "pwl") {
     const std::size_t nvals = tok.size() - (i + 1);
-    if (nvals < 2 || nvals % 2 != 0) fail(line, "PWL needs an even number of values (>= 2)");
+    if (nvals < 2 || nvals % 2 != 0)
+      fail(line,
+           "PWL needs an even number of values (>= 2), got " + std::to_string(nvals));
     std::vector<std::pair<double, double>> pts;
     for (std::size_t k = i + 1; k + 1 < tok.size(); k += 2)
-      pts.emplace_back(parse_spice_value(tok[k]), parse_spice_value(tok[k + 1]));
+      pts.emplace_back(value_at(tok, k, line, "PWL time"),
+                       value_at(tok, k + 1, line, "PWL value"));
     return Waveform::pwl(std::move(pts));
   }
   // Bare value: treat as DC.
-  return Waveform::dc(parse_spice_value(kind));
+  return Waveform::dc(value_at(tok, i, line, "source value"));
 }
 
 }  // namespace
@@ -120,7 +139,9 @@ Circuit parse_netlist(const std::string& text) {
     if (tok.empty() || tok[0][0] == '*') continue;
     if (tok[0] == ".end") break;
     if (tok[0][0] == '.') continue;  // Other directives are ignored.
-    if (tok.size() < 4) fail(line_no, "element needs name, two nodes, and a value");
+    if (tok.size() < 4)
+      fail(line_no, "element needs name, two nodes, and a value (got " +
+                        std::to_string(tok.size()) + " tokens, first '" + tok[0] + "')");
 
     const std::string& name = tok[0];
     const NodeId a = c.node(tok[1]);
@@ -131,26 +152,26 @@ Circuit parse_netlist(const std::string& text) {
     bool has_ic = false;
     for (std::size_t i = 3; i + 1 < tok.size(); ++i) {
       if (tok[i] == "ic") {
-        ic = parse_spice_value(tok[i + 1]);
+        ic = value_at(tok, i + 1, line_no, "IC value");
         has_ic = true;
       }
     }
 
     switch (name[0]) {
       case 'r':
-        c.add_resistor(name, a, b, parse_spice_value(tok[3]));
+        c.add_resistor(name, a, b, value_at(tok, 3, line_no, "resistance"));
         break;
       case 'c':
         if (has_ic)
-          c.add_capacitor_ic(name, a, b, parse_spice_value(tok[3]), ic);
+          c.add_capacitor_ic(name, a, b, value_at(tok, 3, line_no, "capacitance"), ic);
         else
-          c.add_capacitor(name, a, b, parse_spice_value(tok[3]));
+          c.add_capacitor(name, a, b, value_at(tok, 3, line_no, "capacitance"));
         break;
       case 'l':
         if (has_ic)
-          c.add_inductor_ic(name, a, b, parse_spice_value(tok[3]), ic);
+          c.add_inductor_ic(name, a, b, value_at(tok, 3, line_no, "inductance"), ic);
         else
-          c.add_inductor(name, a, b, parse_spice_value(tok[3]));
+          c.add_inductor(name, a, b, value_at(tok, 3, line_no, "inductance"));
         break;
       case 'v':
         c.add_vsource(name, a, b, parse_source(tok, 3, line_no));

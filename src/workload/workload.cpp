@@ -4,6 +4,7 @@
 #include <cmath>
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -160,29 +161,45 @@ std::vector<PowerTrace> read_traces_csv(std::istream& in) {
   std::vector<PowerTrace> traces(n_cols - 1);
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    const std::size_t row = times.size();  // 0-based sample index of this data row.
     std::size_t pos = 0, col = 0;
     while (col < n_cols) {
       const std::size_t comma = line.find(',', pos);
       const std::string cell =
           line.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
-      require(!cell.empty(), "read_traces_csv: empty cell");
-      const double v = std::stod(cell);
+      require(!cell.empty(), "read_traces_csv: empty cell at sample " + std::to_string(row) +
+                                 ", column " + std::to_string(col));
+      double v = 0.0;
+      try {
+        std::size_t used = 0;
+        v = std::stod(cell, &used);
+        require(used == cell.size(), "trailing garbage");
+      } catch (const std::exception&) {
+        throw InvalidParameter("read_traces_csv: unparseable cell '" + cell + "' at sample " +
+                               std::to_string(row) + ", column " + std::to_string(col));
+      }
+      if (!std::isfinite(v))
+        throw InvalidParameter("read_traces_csv: non-finite value at sample " +
+                               std::to_string(row) + ", column " + std::to_string(col));
       if (col == 0)
         times.push_back(v);
       else
         traces[col - 1].watts.push_back(v);
       require(comma != std::string::npos || col == n_cols - 1,
-              "read_traces_csv: row has too few columns");
+              "read_traces_csv: row at sample " + std::to_string(row) + " has too few columns");
       pos = comma + 1;
       ++col;
     }
   }
   require(times.size() >= 2, "read_traces_csv: need at least two samples");
   const double dt = times[1] - times[0];
-  require(dt > 0.0, "read_traces_csv: time column must increase");
+  require(dt > 0.0, "read_traces_csv: time column must increase (sample 1)");
   for (std::size_t k = 1; k < times.size(); ++k) {
     const double step = times[k] - times[k - 1];
-    require(std::fabs(step - dt) <= 0.01 * dt, "read_traces_csv: non-uniform sampling");
+    require(step > 0.0, "read_traces_csv: non-increasing timestamp at sample " +
+                            std::to_string(k));
+    require(std::fabs(step - dt) <= 0.01 * dt,
+            "read_traces_csv: non-uniform sampling at sample " + std::to_string(k));
   }
   for (PowerTrace& t : traces) t.dt_s = dt;
   return traces;

@@ -1,0 +1,178 @@
+// Error-path coverage: the failure modes the quarantine machinery classifies
+// must themselves be raised with the right exception type and a message that
+// names the offending input (sample index, netlist line, token).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+#include "core/dynamic.hpp"
+#include "core/sc_topology.hpp"
+#include "spice/parser.hpp"
+#include "workload/workload.hpp"
+
+namespace ivory {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// --- Linear algebra -------------------------------------------------------
+
+TEST(ErrorPaths, SingularLuThrowsNumerical) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;  // Rank 1.
+  EXPECT_THROW(LuFactorization<double>{a}, NumericalError);
+}
+
+TEST(ErrorPaths, NonFiniteMatrixThrowsNumerical) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = kNan;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 1.0;
+  // The NaN poisons the pivot comparison; the factorization must notice
+  // instead of silently producing a NaN solution.
+  EXPECT_THROW(LuFactorization<double>{a}, NumericalError);
+}
+
+TEST(ErrorPaths, RankDeficientLeastSquaresThrows) {
+  // Second column identically zero: rank 1, no reflector can fix it.
+  Matrix<double> a(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) a(r, 0) = static_cast<double>(r + 1);
+  EXPECT_THROW(solve_least_squares(a, {1.0, 2.0, 3.0}), NumericalError);
+}
+
+// --- Workload trace loading -----------------------------------------------
+
+workload::PowerTrace read_one(const std::string& csv) {
+  std::istringstream in(csv);
+  return workload::read_traces_csv(in).front();
+}
+
+TEST(ErrorPaths, EmptyTraceRejected) {
+  std::istringstream in("");
+  EXPECT_THROW(workload::read_traces_csv(in), InvalidParameter);
+}
+
+TEST(ErrorPaths, SingleSampleTraceRejected) {
+  EXPECT_THROW(read_one("time_s,sm0_w\n0.0,1.0\n"), InvalidParameter);
+}
+
+TEST(ErrorPaths, NanSampleRejectedWithIndex) {
+  try {
+    read_one("time_s,sm0_w\n0.0,1.0\n1e-9,nan\n2e-9,1.0\n");
+    FAIL() << "expected InvalidParameter";
+  } catch (const InvalidParameter& e) {
+    EXPECT_NE(std::string(e.what()).find("sample 1"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ErrorPaths, InfSampleRejected) {
+  EXPECT_THROW(read_one("time_s,sm0_w\n0.0,1.0\n1e-9,inf\n"), InvalidParameter);
+}
+
+TEST(ErrorPaths, NonIncreasingTimestampRejectedWithIndex) {
+  try {
+    read_one("time_s,sm0_w\n0.0,1.0\n1e-9,1.0\n1e-9,1.0\n");
+    FAIL() << "expected InvalidParameter";
+  } catch (const InvalidParameter& e) {
+    EXPECT_NE(std::string(e.what()).find("sample 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ErrorPaths, UnparseableCellRejectedNamingCell) {
+  try {
+    read_one("time_s,sm0_w\n0.0,1.0\n1e-9,bogus\n");
+    FAIL() << "expected InvalidParameter";
+  } catch (const InvalidParameter& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("sample 1"), std::string::npos) << msg;
+  }
+}
+
+// --- SC topology construction ---------------------------------------------
+
+TEST(ErrorPaths, TopologyRatioOutOfRange) {
+  EXPECT_THROW(core::make_topology(1, 1), InvalidParameter);
+  EXPECT_THROW(core::make_topology(3, 3), InvalidParameter);
+  EXPECT_THROW(core::make_topology(3, 2, core::ScFamily::SeriesParallel), InvalidParameter);
+}
+
+TEST(ErrorPaths, DisconnectedOutputIsStructural) {
+  // One cap and one switch, neither touching Vout: the charge-flow solver
+  // must flag the topology rather than produce a degenerate system.
+  core::ScTopology t;
+  t.name = "disconnected";
+  t.n = 2;
+  t.m = 1;
+  const int mid = t.new_node();
+  t.caps.push_back({mid, core::kScGnd, 0.5, false});
+  t.switches.push_back({0, core::kScVin, mid});
+  t.switches.push_back({1, mid, core::kScGnd});
+  EXPECT_THROW(core::charge_vectors(t), StructuralError);
+}
+
+// --- SPICE netlist parsing ------------------------------------------------
+
+TEST(ErrorPaths, ParserNamesLineAndToken) {
+  const char* netlist =
+      "* comment\n"
+      "r1 in out 1k\n"
+      "c1 out 0 1x5\n"
+      ".end\n";
+  try {
+    spice::parse_netlist(netlist);
+    FAIL() << "expected StructuralError";
+  } catch (const StructuralError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'1x5'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("capacitance"), std::string::npos) << msg;
+  }
+}
+
+TEST(ErrorPaths, ParserNamesShortElementLine) {
+  try {
+    spice::parse_netlist("r1 in out\n");
+    FAIL() << "expected StructuralError";
+  } catch (const StructuralError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("3 tokens"), std::string::npos) << msg;
+  }
+}
+
+TEST(ErrorPaths, ParserNamesBadSourceToken) {
+  try {
+    spice::parse_netlist("v1 in 0 pulse 0 1 0 1n 1n bad 2u\n");
+    FAIL() << "expected StructuralError";
+  } catch (const StructuralError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("PULSE"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'bad'"), std::string::npos) << msg;
+  }
+}
+
+// --- Cycle models ---------------------------------------------------------
+
+TEST(ErrorPaths, ShortTraceCycleResponseRejected) {
+  core::ScDesign d;
+  d.n = 2;
+  d.m = 1;
+  d.c_fly_f = 1e-6;
+  d.c_out_f = 0.2e-6;
+  d.g_tot_s = 5000.0;
+  d.f_sw_hz = 100e6;
+  EXPECT_THROW(core::sc_cycle_response(d, 3.3, 1.0, {1.0}, 1e-9), InvalidParameter);
+  EXPECT_THROW(core::sc_cycle_response(d, 3.3, 1.0, {}, 1e-9), InvalidParameter);
+}
+
+}  // namespace
+}  // namespace ivory

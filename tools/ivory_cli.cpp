@@ -78,7 +78,8 @@ int cmd_explore(const Args& a) {
               tech::cap_kind_name(sys.cap_kind));
   TextTable t({"design", "dist", "eff (%)", "ripple (mV)", "f_sw (MHz)", "ilv", "area (mm^2)",
                "feasible"});
-  for (const core::DseResult& r : core::explore(sys)) {
+  SweepReport report;
+  for (const core::DseResult& r : core::explore(sys, core::OptTarget::Efficiency, &report)) {
     t.add_row({r.label.empty() ? core::topology_name(r.topology) : r.label,
                std::to_string(r.n_distributed), TextTable::num(r.efficiency * 100, 3),
                TextTable::num(r.ripple_pp_v * 1e3, 3), TextTable::num(r.f_sw_hz / 1e6, 3),
@@ -86,6 +87,12 @@ int cmd_explore(const Args& a) {
                r.feasible ? "yes" : "no"});
   }
   std::printf("%s", t.render().c_str());
+  if (!report.skips.empty()) {
+    std::printf("\n%zu of %zu candidates quarantined:\n", report.skips.size(),
+                report.n_evaluated);
+    for (const Diagnostics& d : report.skips)
+      std::printf("  - %s\n", d.to_string().c_str());
+  }
   return 0;
 }
 
@@ -186,9 +193,13 @@ int cmd_topology(const Args& a) {
   for (std::size_t i = 0; i < topo.caps.size(); ++i)
     t.add_row({std::string(topo.caps[i].is_dc ? "C(dc) " : "C(fly) ") + std::to_string(i),
                TextTable::num(cv.a_cap[i], 4), TextTable::num(topo.caps[i].ideal_v_ratio, 4)});
-  for (std::size_t i = 0; i < topo.switches.size(); ++i)
-    t.add_row({"S" + std::to_string(i) + (topo.switches[i].phase == 0 ? " (A)" : " (B)"),
-               TextTable::num(cv.a_switch[i], 4), TextTable::num(stress[i], 4)});
+  for (std::size_t i = 0; i < topo.switches.size(); ++i) {
+    std::string sname = "S";
+    sname += std::to_string(i);
+    sname += topo.switches[i].phase == 0 ? " (A)" : " (B)";
+    t.add_row({std::move(sname), TextTable::num(cv.a_switch[i], 4),
+               TextTable::num(stress[i], 4)});
+  }
   std::printf("%s", t.render().c_str());
   return 0;
 }
@@ -240,8 +251,21 @@ int cmd_pds(const Args& a) {
   const core::DseResult ivr =
       core::optimize_topology(sys, core::IvrTopology::SwitchedCapacitor, dist);
   require(ivr.feasible, "no feasible IVR design for these constraints");
-  const core::PdsBreakdown off = core::evaluate_pds_offchip(sys, pdn_params, v_nom, guard_off);
-  const core::PdsBreakdown on = core::evaluate_pds_ivr(sys, pdn_params, ivr, v_nom, guard_ivr);
+  // Quarantined evaluations: a failing composition prints its diagnostics
+  // (code, site, candidate) instead of aborting with a bare what() string.
+  const EvalOutcome<core::PdsBreakdown> off_out =
+      core::try_evaluate_pds_offchip(sys, pdn_params, v_nom, guard_off);
+  const EvalOutcome<core::PdsBreakdown> on_out =
+      core::try_evaluate_pds_ivr(sys, pdn_params, ivr, v_nom, guard_ivr);
+  if (!off_out.ok() || !on_out.ok()) {
+    if (!off_out.ok())
+      std::fprintf(stderr, "pds: %s\n", off_out.diagnostics().to_string().c_str());
+    if (!on_out.ok())
+      std::fprintf(stderr, "pds: %s\n", on_out.diagnostics().to_string().c_str());
+    return 1;
+  }
+  const core::PdsBreakdown& off = off_out.value();
+  const core::PdsBreakdown& on = on_out.value();
 
   TextTable t({"PDS", "guardband", "grid IR", "PDN IR", "IVR loss", "VRM loss", "total (W)",
                "eff (%)"});
