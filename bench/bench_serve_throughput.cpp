@@ -1,0 +1,121 @@
+// Throughput benchmark of the batch-evaluation service.
+//
+// Replays a mixed NDJSON request stream (static analyses, optimizer runs and
+// a short transient, with deliberate duplicates) through `serve::run_batch`
+// at several thread counts and with repeat=2, so both the cold path (all
+// misses, every model evaluated) and the warm path (all hits, zero
+// evaluations) are measured. Verifies the byte-identity contract along the
+// way — every pass and every thread count must produce the same response
+// bytes — and writes requests/sec plus hit rates to BENCH_serve.json so the
+// service's perf trajectory is tracked across PRs.
+//
+// Usage: bench_serve_throughput [output.json]   (default: BENCH_serve.json)
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/table.hpp"
+#include "serve/batch.hpp"
+#include "serve/service.hpp"
+
+using namespace ivory;
+
+namespace {
+
+/// Request mix: ~2/3 cheap static analyses (many duplicated so even the cold
+/// pass exercises the cache), plus a few expensive optimizer sweeps.
+std::string build_request_stream(int n_groups) {
+  std::ostringstream out;
+  int id = 0;
+  for (int g = 0; g < n_groups; ++g) {
+    // Distinct static points...
+    out << R"({"op":"sc_static","id":)" << id++ << R"(,"n":3,"m":1,"cfly":4e-6,"gtot":)"
+        << (10e3 + 1e3 * g) << R"(,"fsw":80e6,"iload":20})" << "\n";
+    out << R"({"op":"buck_static","id":)" << id++ << R"(,"l":5e-9,"fsw":1e8,"phases":4,"iload":)"
+        << (8 + g % 4) << "})" << "\n";
+    out << R"({"op":"ldo_static","id":)" << id++ << R"(,"vin":1.2,"vout":1.0,"iload":)"
+        << (2 + g % 3) << "})" << "\n";
+    // ...and a duplicated one: same body every group, different id.
+    out << R"({"op":"sc_static","id":)" << id++
+        << R"(,"n":2,"m":1,"cfly":2e-6,"gtot":8e3,"fsw":60e6,"iload":10})" << "\n";
+    if (g % 4 == 0)
+      out << R"({"op":"optimize","id":)" << id++
+          << R"(,"topology":"sc","dist":4,"power":20,"area":20})" << "\n";
+  }
+  return out.str();
+}
+
+struct Measurement {
+  unsigned threads = 1;
+  serve::BatchSummary summary;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  const std::string input = build_request_stream(24);
+
+  std::vector<Measurement> runs;
+  std::string reference;  // response bytes of the first run
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    par::set_global_threads(threads);
+    serve::Service service;
+    std::istringstream in(input);
+    std::ostringstream out;
+    serve::BatchOptions opt;
+    opt.repeat = 2;
+    Measurement m;
+    m.threads = threads;
+    m.summary = serve::run_batch(in, out, service, opt);
+    runs.push_back(m);
+
+    const std::string bytes = out.str();
+    if (reference.empty()) reference = bytes;
+    if (bytes != reference) {
+      std::fprintf(stderr, "FATAL: %u-thread response bytes differ from 1-thread run\n",
+                   threads);
+      return 1;
+    }
+  }
+  par::set_global_threads(1);
+
+  TextTable t({"threads", "pass", "requests", "req/s", "hit rate", "evals"});
+  std::string json = "{\"benchmark\":\"serve_throughput\",\"runs\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Measurement& m = runs[i];
+    const double per_pass_s = m.summary.wall_s / static_cast<double>(m.summary.passes.size());
+    for (std::size_t p = 0; p < m.summary.passes.size(); ++p) {
+      const serve::BatchPassStats& s = m.summary.passes[p];
+      const double rps = per_pass_s > 0 ? static_cast<double>(s.requests) / per_pass_s : 0.0;
+      t.add_row({std::to_string(m.threads), p == 0 ? "cold" : "warm",
+                 std::to_string(s.requests), TextTable::num(rps, 6),
+                 TextTable::num(s.hit_rate() * 100, 1) + "%", std::to_string(s.evaluations)});
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"threads\":%u,\"wall_s\":%.6f,\"requests\":%llu,"
+                  "\"requests_per_s\":%.1f,\"cold_hit_rate\":%.4f,\"warm_hit_rate\":%.4f}",
+                  i == 0 ? "" : ",", m.threads, m.summary.wall_s,
+                  static_cast<unsigned long long>(m.summary.requests),
+                  static_cast<double>(m.summary.requests) / m.summary.wall_s,
+                  m.summary.passes[0].hit_rate(), m.summary.passes[1].hit_rate());
+    json += buf;
+  }
+  json += "],\"byte_identical\":true}";
+
+  std::printf("serve throughput (repeat=2: cold pass then warm pass)\n\n%s\n",
+              t.render().c_str());
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Content hashing for the result cache.
+//
+// 64-bit FNV-1a over bytes: tiny, dependency-free, deterministic across
+// platforms and runs — exactly what a content-addressed cache key needs
+// (cryptographic strength is not required; the cache stores the full
+// canonical key alongside the hash and compares it on lookup, so a hash
+// collision costs a miss, never a wrong answer).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ivory {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnv1a64Prime = 1099511628211ull;
+
+/// FNV-1a over `bytes`, continuing from `seed` (chainable).
+constexpr std::uint64_t fnv1a64(std::string_view bytes,
+                                std::uint64_t seed = kFnv1a64Offset) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+}  // namespace ivory

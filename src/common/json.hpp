@@ -1,0 +1,113 @@
+// Minimal strict JSON value type, parser and writer.
+//
+// The wire format of the batch-evaluation service (src/serve). Design goals,
+// in order: (1) deterministic bytes — writing the same Value always produces
+// the same string, and numbers use the shortest round-trip representation
+// (std::to_chars), so canonical forms are stable enough to content-hash;
+// (2) strictness — the parser rejects NaN/Inf (including literals that
+// overflow double), duplicate object keys, nesting beyond a fixed depth,
+// trailing garbage, malformed \u escapes (lone surrogates included) and raw
+// control characters; (3) no dependencies beyond the standard library.
+//
+// Objects preserve insertion order; `write()` emits members in that order,
+// `write_canonical()` sorts keys bytewise at every level (the form the result
+// cache hashes). Both emit compact JSON (no whitespace).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ivory::json {
+
+/// Parse failure: names the byte offset and what was expected.
+class ParseError : public InvalidParameter {
+ public:
+  ParseError(const std::string& what, std::size_t offset)
+      : InvalidParameter("json: " + what + " (at offset " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class Value;
+
+/// One JSON document node. Small enough to pass by value in tests; request
+/// bodies hold at most a few hundred nodes.
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Member = std::pair<std::string, Value>;
+  using Object = std::vector<Member>;  ///< insertion order preserved
+
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}  // NOLINT(google-explicit-constructor)
+  Value(bool b) : v_(b) {}                // NOLINT(google-explicit-constructor)
+  Value(double d) : v_(d) {}              // NOLINT(google-explicit-constructor)
+  Value(int i) : v_(static_cast<double>(i)) {}  // NOLINT(google-explicit-constructor)
+  Value(std::uint64_t i) : v_(static_cast<double>(i)) {}  // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}  // NOLINT(google-explicit-constructor)
+  Value(std::string s) : v_(std::move(s)) {}    // NOLINT(google-explicit-constructor)
+  Value(Array a) : v_(std::move(a)) {}          // NOLINT(google-explicit-constructor)
+  Value(Object o) : v_(std::move(o)) {}         // NOLINT(google-explicit-constructor)
+
+  Kind kind() const { return static_cast<Kind>(v_.index()); }
+  bool is_null() const { return kind() == Kind::Null; }
+  bool is_bool() const { return kind() == Kind::Bool; }
+  bool is_number() const { return kind() == Kind::Number; }
+  bool is_string() const { return kind() == Kind::String; }
+  bool is_array() const { return kind() == Kind::Array; }
+  bool is_object() const { return kind() == Kind::Object; }
+
+  /// Typed accessors; throw InvalidParameter on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  /// Object member lookup; nullptr when `this` is not an object or the key
+  /// is absent.
+  const Value* find(std::string_view key) const;
+
+  /// Sets (replacing) an object member; `this` must be an object.
+  void set(std::string key, Value v);
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Compact serialization, object members in insertion order. Throws
+  /// NumericalError if any number is non-finite (the strict format has no
+  /// representation for NaN/Inf).
+  std::string write() const;
+
+  /// Compact serialization with object keys sorted bytewise at every level —
+  /// the canonical form the result cache hashes. Number formatting is
+  /// identical to write() (shortest round-trip).
+  std::string write_canonical() const;
+
+  /// Strict parse of a complete document. `max_depth` bounds array/object
+  /// nesting. Throws ParseError on any deviation.
+  static Value parse(std::string_view text, std::size_t max_depth = 64);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Escapes `s` as a JSON string literal including the surrounding quotes.
+std::string escape_string(std::string_view s);
+
+}  // namespace ivory::json

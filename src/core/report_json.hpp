@@ -1,0 +1,49 @@
+// JSON serializers for the analysis results, sweep reports and diagnostics —
+// the machine-readable counterpart of the ASCII tables the CLI prints.
+//
+// These are the hooks the batch-evaluation service (src/serve) uses to build
+// response payloads. Determinism contract: each serializer emits members in
+// a fixed order with shortest-round-trip number formatting, so serializing
+// the same result twice produces byte-identical JSON — a prerequisite for
+// the content-addressed result cache's "cached == cold bytes" guarantee.
+// Values that may legitimately be non-finite are not expected here: every
+// model boundary is already IVORY_CHECK_FINITE-guarded, and json::write
+// throws on NaN/Inf as a last line of defense.
+#pragma once
+
+#include "common/json.hpp"
+#include "common/outcome.hpp"
+#include "core/dynamic.hpp"
+#include "core/optimizer.hpp"
+#include "core/pds.hpp"
+
+namespace ivory {
+
+/// {"code":..., "site":..., "candidate":..., "detail":...}
+json::Value to_json(const Diagnostics& d);
+
+/// {"n_evaluated":..., "n_survived":..., "n_skipped":..., "skips":[...]}
+json::Value to_json(const SweepReport& r);
+
+namespace core {
+
+const char* sc_family_name(ScFamily f);
+
+json::Value to_json(const ScDesign& d);
+json::Value to_json(const BuckDesign& d);
+json::Value to_json(const LdoDesign& d);
+
+json::Value to_json(const ScAnalysis& a);
+json::Value to_json(const ScRegulated& r);
+json::Value to_json(const BuckAnalysis& a);
+json::Value to_json(const LdoAnalysis& a);
+
+/// Includes the concrete per-topology design ("design" member) so a client
+/// can feed an optimizer result straight back into a static or transient
+/// request.
+json::Value to_json(const DseResult& r);
+json::Value to_json(const TwoStageResult& r);
+json::Value to_json(const PdsBreakdown& b);
+
+}  // namespace core
+}  // namespace ivory

@@ -1,0 +1,69 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+
+namespace ivory::serve {
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
+  capacity = std::max<std::size_t>(1, capacity);
+  shards = std::max<std::size_t>(1, std::min(shards, capacity));
+  per_shard_capacity_ = std::max<std::size_t>(1, capacity / shards);
+  shards_ = std::vector<Shard>(shards);
+}
+
+std::optional<std::string> ResultCache::lookup(std::uint64_t key_hash,
+                                               std::string_view canonical_key) {
+  Shard& s = shard_for(key_hash);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(canonical_key);
+  if (it == s.index.end()) {
+    ++s.misses;
+    return std::nullopt;
+  }
+  ++s.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // promote; iterators stay valid
+  return it->second->payload;
+}
+
+void ResultCache::insert(std::uint64_t key_hash, std::string canonical_key,
+                         std::string payload) {
+  Shard& s = shard_for(key_hash);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(std::string_view(canonical_key));
+  if (it != s.index.end()) {
+    // Concurrent evaluation of the same request already published the (by
+    // construction identical) payload; just promote.
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  if (s.lru.size() >= per_shard_capacity_) {
+    s.index.erase(std::string_view(s.lru.back().key));
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+  s.lru.push_front(Entry{std::move(canonical_key), std::move(payload)});
+  s.index.emplace(std::string_view(s.lru.front().key), s.lru.begin());
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats out;
+  out.capacity = per_shard_capacity_ * shards_.size();
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.evictions += s.evictions;
+    out.entries += s.lru.size();
+  }
+  return out;
+}
+
+void ResultCache::clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.index.clear();
+    s.lru.clear();
+  }
+}
+
+}  // namespace ivory::serve

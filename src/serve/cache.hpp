@@ -1,0 +1,79 @@
+// Sharded LRU result cache, content-addressed by the canonical request form.
+//
+// Keys are (fnv1a64 hash, canonical JSON string); the full canonical string
+// is stored and compared on lookup, so a 64-bit hash collision degrades to a
+// miss instead of serving a wrong result. Values are the serialized response
+// payloads — caching the exact bytes is what makes cached and cold responses
+// byte-identical by construction.
+//
+// Sharding: the hash selects one of N independently-locked LRU shards, so
+// concurrent pool workers rarely contend. Capacity is split evenly across
+// shards (per-shard LRU, not global — an intentionally cheap approximation;
+// a pathological key distribution can evict earlier than a global LRU
+// would, which costs a re-evaluation, never a wrong answer).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ivory::serve {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t capacity = 0;
+};
+
+class ResultCache {
+ public:
+  /// `capacity` is the total entry budget across all shards (min 1).
+  /// `shards` is clamped so every shard holds at least one entry.
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached payload and promotes the entry to most-recent, or
+  /// nullopt (counting a miss).
+  std::optional<std::string> lookup(std::uint64_t key_hash, std::string_view canonical_key);
+
+  /// Inserts (or refreshes) an entry, evicting the shard's least-recently
+  /// used entry when full.
+  void insert(std::uint64_t key_hash, std::string canonical_key, std::string payload);
+
+  CacheStats stats() const;
+  void clear();
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string payload;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    /// Views point into Entry::key of lru nodes (stable across splice).
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    std::uint64_t hits = 0, misses = 0, evictions = 0;
+  };
+
+  Shard& shard_for(std::uint64_t key_hash) {
+    return shards_[key_hash % shards_.size()];
+  }
+
+  std::size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ivory::serve

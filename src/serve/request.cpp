@@ -1,0 +1,382 @@
+#include "serve/request.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/hash.hpp"
+#include "spice/parser.hpp"
+#include "tech/tech.hpp"
+
+namespace ivory::serve {
+
+namespace {
+
+/// Strict reader over a request body: every field access marks the member
+/// consumed, and finish() rejects any member the schema never asked for —
+/// catching typos ("cflyy") instead of silently applying a default.
+class FieldReader {
+ public:
+  FieldReader(const json::Value& body, std::string context)
+      : obj_(&body.as_object()), ctx_(std::move(context)), used_(obj_->size(), false) {}
+
+  [[noreturn]] void fail(std::string_view field, const std::string& what) const {
+    throw InvalidParameter(ctx_ + ": field '" + std::string(field) + "': " + what);
+  }
+
+  const json::Value* get(std::string_view key) {
+    for (std::size_t i = 0; i < obj_->size(); ++i)
+      if ((*obj_)[i].first == key) {
+        used_[i] = true;
+        return &(*obj_)[i].second;
+      }
+    return nullptr;
+  }
+
+  bool has(std::string_view key) const {
+    for (const auto& m : *obj_)
+      if (m.first == key) return true;
+    return false;
+  }
+
+  /// Numbers are JSON numbers or SPICE-suffixed strings ("4u", "80meg").
+  double num(std::string_view key, double fallback) {
+    const json::Value* v = get(key);
+    if (!v) return fallback;
+    if (v->is_number()) return v->as_number();
+    if (v->is_string()) {
+      try {
+        return spice::parse_spice_value(v->as_string());
+      } catch (const std::exception& e) {
+        fail(key, std::string("bad SPICE-suffixed value: ") + e.what());
+      }
+    }
+    fail(key, "expected a number or a SPICE-suffixed string");
+  }
+
+  int integer(std::string_view key, int fallback) {
+    const double d = num(key, static_cast<double>(fallback));
+    if (std::nearbyint(d) != d || d < std::numeric_limits<int>::min() ||
+        d > std::numeric_limits<int>::max())
+      fail(key, "expected an integer");
+    return static_cast<int>(d);
+  }
+
+  std::string str(std::string_view key, std::string fallback) {
+    const json::Value* v = get(key);
+    if (!v) return fallback;
+    if (!v->is_string()) fail(key, "expected a string");
+    return v->as_string();
+  }
+
+  bool boolean(std::string_view key, bool fallback) {
+    const json::Value* v = get(key);
+    if (!v) return fallback;
+    if (!v->is_bool()) fail(key, "expected true or false");
+    return v->as_bool();
+  }
+
+  /// Rejects members no schema field consumed.
+  void finish() const {
+    for (std::size_t i = 0; i < obj_->size(); ++i)
+      if (!used_[i])
+        throw InvalidParameter(ctx_ + ": unknown field '" + (*obj_)[i].first + "'");
+  }
+
+ private:
+  const json::Value::Object* obj_;
+  std::string ctx_;
+  std::vector<bool> used_;
+};
+
+tech::CapKind cap_kind_from(FieldReader& r, const std::string& s) {
+  if (s == "mos") return tech::CapKind::MosCap;
+  if (s == "mim") return tech::CapKind::Mim;
+  if (s == "trench") return tech::CapKind::DeepTrench;
+  r.fail("cap", "unknown capacitor kind '" + s + "' (mos|mim|trench)");
+}
+
+tech::InductorKind inductor_kind_from(FieldReader& r, const std::string& s) {
+  if (s == "smt") return tech::InductorKind::SurfaceMount;
+  if (s == "interposer") return tech::InductorKind::IntegratedInterposer;
+  if (s == "magnetic") return tech::InductorKind::MagneticFilm;
+  r.fail("inductor", "unknown inductor kind '" + s + "' (smt|interposer|magnetic)");
+}
+
+core::ScFamily sc_family_from(FieldReader& r, const std::string& s) {
+  if (s == "auto") return core::ScFamily::Auto;
+  if (s == "ladder") return core::ScFamily::Ladder;
+  if (s == "series-parallel") return core::ScFamily::SeriesParallel;
+  if (s == "dickson") return core::ScFamily::Dickson;
+  r.fail("family", "unknown SC family '" + s + "' (auto|ladder|series-parallel|dickson)");
+}
+
+tech::Node node_from(FieldReader& r) {
+  const std::string s = r.str("node", "32");
+  try {
+    return tech::node_from_string(s);
+  } catch (const std::exception& e) {
+    r.fail("node", e.what());
+  }
+}
+
+core::SystemParams system_from(FieldReader& r) {
+  core::SystemParams sys;
+  sys.vin_v = r.num("vin", sys.vin_v);
+  sys.vout_v = r.num("vout", sys.vout_v);
+  sys.p_load_w = r.num("power", sys.p_load_w);
+  sys.area_max_m2 = r.num("area", sys.area_max_m2 * 1e6) * 1e-6;  // mm^2, like the CLI.
+  sys.node = node_from(r);
+  sys.cap_kind = cap_kind_from(r, r.str("cap", "trench"));
+  sys.inductor = inductor_kind_from(r, r.str("inductor", "magnetic"));
+  sys.max_distributed = r.integer("max_dist", sys.max_distributed);
+  sys.ripple_max_v = r.num("ripple", sys.ripple_max_v);
+  return sys;
+}
+
+core::ScDesign sc_design_from(FieldReader& r) {
+  core::ScDesign d;
+  d.node = node_from(r);
+  d.cap_kind = cap_kind_from(r, r.str("cap", "trench"));
+  d.n = r.integer("n", 2);
+  d.m = r.integer("m", 1);
+  d.family = sc_family_from(r, r.str("family", "auto"));
+  d.c_fly_f = r.num("cfly", 1e-6);
+  d.c_out_f = r.num("cout", 0.2e-6);
+  d.g_tot_s = r.num("gtot", 5000.0);
+  d.f_sw_hz = r.num("fsw", 80e6);
+  d.n_interleave = r.integer("interleave", 8);
+  d.duty = r.num("duty", 0.5);
+  return d;
+}
+
+core::BuckDesign buck_design_from(FieldReader& r) {
+  core::BuckDesign d;
+  d.node = node_from(r);
+  d.cap_kind = cap_kind_from(r, r.str("cap", "trench"));
+  d.inductor = inductor_kind_from(r, r.str("inductor", "interposer"));
+  d.l_per_phase_h = r.num("l", 5e-9);
+  d.f_sw_hz = r.num("fsw", 100e6);
+  d.n_phases = r.integer("phases", 4);
+  d.w_high_m = r.num("whs", 0.08);
+  d.w_low_m = r.num("wls", 0.10);
+  d.c_out_f = r.num("cout", 1e-6);
+  return d;
+}
+
+core::LdoDesign ldo_design_from(FieldReader& r) {
+  core::LdoDesign d;
+  d.node = node_from(r);
+  d.cap_kind = cap_kind_from(r, r.str("cap", "mos"));
+  d.w_pass_m = r.num("wpass", 0.05);
+  d.n_bits = r.integer("bits", 7);
+  d.f_clk_hz = r.num("fclk", 500e6);
+  d.c_out_f = r.num("cout", 0.5e-6);
+  d.i_quiescent_a = r.num("iq", 1e-3);
+  return d;
+}
+
+workload::Benchmark benchmark_from(FieldReader& r, const std::string& s) {
+  for (const workload::Benchmark b : workload::kAllBenchmarks)
+    if (s == workload::benchmark_name(b)) return b;
+  r.fail("benchmark", "unknown benchmark '" + s + "'");
+}
+
+}  // namespace
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::ScStatic: return "sc_static";
+    case Op::BuckStatic: return "buck_static";
+    case Op::LdoStatic: return "ldo_static";
+    case Op::Explore: return "explore";
+    case Op::Optimize: return "optimize";
+    case Op::Pds: return "pds";
+    case Op::Transient: return "transient";
+    case Op::Stats: return "stats";
+  }
+  return "?";
+}
+
+Op op_from_string(const std::string& name) {
+  for (const Op op : {Op::ScStatic, Op::BuckStatic, Op::LdoStatic, Op::Explore, Op::Optimize,
+                      Op::Pds, Op::Transient, Op::Stats})
+    if (name == op_name(op)) return op;
+  throw InvalidParameter(
+      "unknown op '" + name +
+      "' (sc_static|buck_static|ldo_static|explore|optimize|pds|transient|stats)");
+}
+
+Request parse_request(const json::Value& root) {
+  if (!root.is_object()) throw InvalidParameter("request must be a JSON object");
+  Request req;
+  json::Value::Object body;
+  bool saw_op = false;
+  for (const auto& m : root.as_object()) {
+    if (m.first == "id") {
+      if (!m.second.is_null() && !m.second.is_string() && !m.second.is_number())
+        throw InvalidParameter("field 'id': expected string, number or null");
+      req.id = m.second;
+      continue;
+    }
+    if (m.first == "deadline_ms") {
+      if (!m.second.is_number() || !(m.second.as_number() > 0.0))
+        throw InvalidParameter("field 'deadline_ms': expected a positive number");
+      req.deadline_ms = m.second.as_number();
+      continue;
+    }
+    if (m.first == "op") {
+      if (!m.second.is_string()) throw InvalidParameter("field 'op': expected a string");
+      req.op = op_from_string(m.second.as_string());
+      saw_op = true;
+    }
+    body.push_back(m);
+  }
+  if (!saw_op) throw InvalidParameter("missing required field 'op'");
+  req.body = json::Value(std::move(body));
+  req.canonical = req.body.write_canonical();
+  req.key = fnv1a64(req.canonical);
+  return req;
+}
+
+ScStaticParams sc_static_params(const json::Value& body) {
+  FieldReader r(body, "sc_static");
+  r.get("op");
+  ScStaticParams p;
+  p.design = sc_design_from(r);
+  p.vin_v = r.num("vin", p.vin_v);
+  p.i_load_a = r.num("iload", p.i_load_a);
+  p.regulate_v = r.num("regulate", p.regulate_v);
+  r.finish();
+  return p;
+}
+
+BuckStaticParams buck_static_params(const json::Value& body) {
+  FieldReader r(body, "buck_static");
+  r.get("op");
+  BuckStaticParams p;
+  p.design = buck_design_from(r);
+  p.vin_v = r.num("vin", p.vin_v);
+  p.vout_v = r.num("vout", p.vout_v);
+  p.i_load_a = r.num("iload", p.i_load_a);
+  r.finish();
+  return p;
+}
+
+LdoStaticParams ldo_static_params(const json::Value& body) {
+  FieldReader r(body, "ldo_static");
+  r.get("op");
+  LdoStaticParams p;
+  p.design = ldo_design_from(r);
+  p.vin_v = r.num("vin", p.vin_v);
+  p.vout_v = r.num("vout", p.vout_v);
+  p.i_load_a = r.num("iload", p.i_load_a);
+  r.finish();
+  return p;
+}
+
+ExploreParams explore_params(const json::Value& body) {
+  FieldReader r(body, "explore");
+  r.get("op");
+  ExploreParams p;
+  p.sys = system_from(r);
+  const std::string t = r.str("target", "efficiency");
+  if (t == "efficiency") p.target = core::OptTarget::Efficiency;
+  else if (t == "area") p.target = core::OptTarget::Area;
+  else if (t == "noise") p.target = core::OptTarget::Noise;
+  else r.fail("target", "unknown target '" + t + "' (efficiency|area|noise)");
+  r.finish();
+  return p;
+}
+
+OptimizeParams optimize_params(const json::Value& body) {
+  FieldReader r(body, "optimize");
+  r.get("op");
+  OptimizeParams p;
+  p.sys = system_from(r);
+  p.n_distributed = r.integer("dist", p.n_distributed);
+  if (p.n_distributed < 1) r.fail("dist", "must be >= 1");
+  const std::string t = r.str("topology", "sc");
+  if (t == "sc") p.topology = core::IvrTopology::SwitchedCapacitor;
+  else if (t == "buck") p.topology = core::IvrTopology::Buck;
+  else if (t == "ldo") p.topology = core::IvrTopology::LinearRegulator;
+  else if (t == "two_stage") p.two_stage = true;
+  else r.fail("topology", "unknown topology '" + t + "' (sc|buck|ldo|two_stage)");
+  r.finish();
+  return p;
+}
+
+PdsParams pds_params(const json::Value& body) {
+  FieldReader r(body, "pds");
+  r.get("op");
+  PdsParams p;
+  p.sys = system_from(r);
+  p.v_nom_v = r.num("vnom", p.v_nom_v);
+  p.guard_off_v = r.num("guard_off", p.guard_off_v);
+  p.guard_ivr_v = r.num("guard_ivr", p.guard_ivr_v);
+  p.n_distributed = r.integer("dist", p.n_distributed);
+  if (p.n_distributed < 1) r.fail("dist", "must be >= 1");
+  r.finish();
+  return p;
+}
+
+TransientParams transient_params(const json::Value& body) {
+  FieldReader r(body, "transient");
+  r.get("op");
+  TransientParams p;
+  const std::string topo = r.str("topology", "sc");
+  if (topo == "sc") p.kind = TransientParams::Kind::Sc;
+  else if (topo == "buck") p.kind = TransientParams::Kind::Buck;
+  else if (topo == "ldo") p.kind = TransientParams::Kind::Ldo;
+  else r.fail("topology", "unknown topology '" + topo + "' (sc|buck|ldo)");
+
+  const json::Value* design = r.get("design");
+  if (!design) throw InvalidParameter("transient: missing required field 'design'");
+  if (!design->is_object()) r.fail("design", "expected an object");
+  {
+    FieldReader dr(*design, "transient.design");
+    switch (p.kind) {
+      case TransientParams::Kind::Sc: p.sc = sc_design_from(dr); break;
+      case TransientParams::Kind::Buck: p.buck = buck_design_from(dr); break;
+      case TransientParams::Kind::Ldo: p.ldo = ldo_design_from(dr); break;
+    }
+    dr.finish();
+  }
+
+  p.vin_v = r.num("vin", p.vin_v);
+  p.vref_v = r.num("vref", p.vref_v);
+  p.dt_s = r.num("dt", p.dt_s);
+  if (!(p.dt_s > 0.0)) r.fail("dt", "must be > 0");
+  p.return_waveform = r.boolean("return_waveform", false);
+
+  const json::Value* iload = r.get("iload");
+  const json::Value* load = r.get("load");
+  if ((iload != nullptr) == (load != nullptr))
+    throw InvalidParameter("transient: exactly one of 'iload' (inline trace) or 'load' "
+                           "(workload spec) is required");
+  if (iload) {
+    if (!iload->is_array() || iload->as_array().empty())
+      r.fail("iload", "expected a non-empty array of currents [A]");
+    for (const json::Value& v : iload->as_array()) {
+      if (!v.is_number()) r.fail("iload", "expected numbers only");
+      p.i_load_a.push_back(v.as_number());
+    }
+  } else {
+    if (!load->is_object()) r.fail("load", "expected an object");
+    FieldReader lr(*load, "transient.load");
+    p.has_workload = true;
+    p.benchmark = benchmark_from(lr, lr.str("benchmark", "CFD"));
+    p.n_sm = lr.integer("n_sm", p.n_sm);
+    if (p.n_sm < 1) lr.fail("n_sm", "must be >= 1");
+    p.sm_avg_w = lr.num("sm_avg_w", p.sm_avg_w);
+    p.duration_s = lr.num("duration", p.duration_s);
+    if (!(p.duration_s > 0.0)) lr.fail("duration", "must be > 0");
+    const int seed = lr.integer("seed", 1);
+    if (seed < 0) lr.fail("seed", "must be >= 0");
+    p.seed = static_cast<std::uint64_t>(seed);
+    lr.finish();
+  }
+  r.finish();
+  return p;
+}
+
+}  // namespace ivory::serve

@@ -1,0 +1,171 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+namespace ivory::serve {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+Scheduler::Scheduler(Service& service, Options opt)
+    : service_(service), opt_(opt), paused_(opt.start_paused) {
+  if (opt_.queue_capacity == 0) opt_.queue_capacity = 1;
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  cv_space_.notify_all();
+  dispatcher_.join();
+}
+
+int Scheduler::open_client() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int id = next_client_++;
+  clients_[id];
+  return id;
+}
+
+void Scheduler::close_client(int client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = clients_.find(client);
+  if (it == clients_.end()) return;
+  it->second.closed = true;
+  if (it->second.jobs.empty()) clients_.erase(it);
+}
+
+void Scheduler::submit(int client, std::string line, Sink sink) {
+  Job job;
+  job.line = std::move(line);
+  job.sink = std::move(sink);
+  job.enqueued = std::chrono::steady_clock::now();
+  // Pre-parse the envelope so cancel/deadline handling does not depend on
+  // the service; a malformed line keeps id=null and is rejected by the
+  // service at dispatch time.
+  try {
+    const json::Value root = json::Value::parse(job.line);
+    if (const json::Value* id = root.find("id"))
+      if (id->is_null() || id->is_string() || id->is_number()) job.id = *id;
+    if (const json::Value* dl = root.find("deadline_ms"))
+      if (dl->is_number() && dl->as_number() > 0.0) job.deadline_ms = dl->as_number();
+  } catch (const std::exception&) {
+    // leave defaults; the service reports the parse error in the response
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_space_.wait(lock, [&] { return stop_ || queued_ < opt_.queue_capacity; });
+  if (stop_) throw NumericalError("serve: submit on a stopped scheduler");
+  const auto it = clients_.find(client);
+  if (it == clients_.end() || it->second.closed)
+    throw InvalidParameter("serve: submit on an unknown or closed client");
+  it->second.jobs.push_back(std::move(job));
+  ++queued_;
+  ++outstanding_;
+  cv_work_.notify_one();
+}
+
+bool Scheduler::cancel(int client, const json::Value& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = clients_.find(client);
+  if (it == clients_.end()) return false;
+  for (Job& j : it->second.jobs)
+    if (!j.cancelled && j.id == id) {
+      j.cancelled = true;
+      return true;
+    }
+  return false;
+}
+
+void Scheduler::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_work_.notify_all();
+}
+
+void Scheduler::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_drained_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+std::size_t Scheduler::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+void Scheduler::dispatcher_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_work_.wait(lock, [&] { return stop_ || (!paused_ && queued_ > 0); });
+    if (queued_ == 0) {
+      if (stop_) return;
+      continue;
+    }
+    if (paused_ && !stop_) continue;
+
+    // Gather one wave, round-robin across clients in id order so each
+    // concurrent batch makes progress; per-client FIFO order is preserved.
+    const std::size_t target =
+        opt_.wave ? opt_.wave : static_cast<std::size_t>(4) * par::global_threads();
+    std::vector<Job> wave;
+    wave.reserve(std::min(target, queued_));
+    auto it = clients_.lower_bound(rr_cursor_);
+    while (wave.size() < target && queued_ > 0) {
+      if (it == clients_.end()) it = clients_.begin();
+      ClientQueue& q = it->second;
+      if (!q.jobs.empty()) {
+        wave.push_back(std::move(q.jobs.front()));
+        q.jobs.pop_front();
+        --queued_;
+      }
+      if (q.closed && q.jobs.empty()) {
+        it = clients_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    rr_cursor_ = it == clients_.end() ? 0 : it->first;
+    cv_space_.notify_all();
+    lock.unlock();
+
+    // Evaluate the wave on the deterministic pool. Cancelled and expired
+    // jobs short-circuit to structured errors without touching a model.
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<std::string> responses(wave.size());
+    par::parallel_for(wave.size(), [&](std::size_t i) {
+      const Job& j = wave[i];
+      if (j.cancelled) {
+        responses[i] = Service::error_response(j.id, "cancelled",
+                                               "request cancelled before evaluation");
+      } else if (j.deadline_ms > 0.0 && elapsed_ms(j.enqueued, now) > j.deadline_ms) {
+        responses[i] = Service::error_response(j.id, "deadline_exceeded",
+                                               "request waited past its deadline_ms");
+      } else {
+        responses[i] = service_.handle_line(j.line);
+      }
+    });
+
+    // Deliver serially in wave order (= per-client submission order).
+    for (std::size_t i = 0; i < wave.size(); ++i) wave[i].sink(responses[i]);
+
+    lock.lock();
+    outstanding_ -= wave.size();
+    if (outstanding_ == 0) cv_drained_.notify_all();
+  }
+}
+
+}  // namespace ivory::serve

@@ -1,0 +1,109 @@
+// Job scheduler for the evaluation service.
+//
+// A single dispatcher thread drains a bounded FIFO queue in *waves*: it
+// gathers up to `wave` jobs (round-robin across client queues, preserving
+// each client's submission order — fairness across concurrent multi-request
+// batches), evaluates the wave on the process-wide deterministic thread pool
+// (`par::parallel_map`; a request's own inner sweep parallelism then runs
+// inline per the pool's nesting rule), and delivers the responses serially
+// in wave order. Per-client delivery order therefore always equals
+// submission order, so transports can stream responses without reordering
+// buffers.
+//
+// Back-pressure: `submit` blocks while `queue_capacity` jobs are pending —
+// a slow consumer stalls its producer instead of growing memory without
+// bound. Cancellation (`cancel`) and per-request deadlines (`deadline_ms`
+// envelope field) apply to *queued* jobs: a job already evaluating runs to
+// completion; a cancelled or expired job is delivered as a structured
+// {"ok":false} response without touching a model.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/service.hpp"
+
+namespace ivory::serve {
+
+class Scheduler {
+ public:
+  struct Options {
+    std::size_t queue_capacity = 1024;
+    std::size_t wave = 0;       ///< jobs per wave; 0 = 4x pool threads
+    bool start_paused = false;  ///< tests: queue jobs, then resume()
+  };
+
+  /// Receives one response line (no trailing newline). Invoked from the
+  /// dispatcher thread, serially, in per-client submission order.
+  using Sink = std::function<void(const std::string&)>;
+
+  Scheduler(Service& service, Options opt);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Registers a request source (one per connection / batch).
+  int open_client();
+
+  /// Marks the client done; its already-queued jobs still run and deliver.
+  void close_client(int client);
+
+  /// Enqueues one request line. Blocks while the queue is at capacity.
+  void submit(int client, std::string line, Sink sink);
+
+  /// Cancels the oldest *queued* job of `client` whose request id equals
+  /// `id`. Returns false when no such job is waiting (already dispatched,
+  /// delivered, or never existed).
+  bool cancel(int client, const json::Value& id);
+
+  /// Releases a start_paused scheduler.
+  void resume();
+
+  /// Blocks until every job submitted so far has been delivered.
+  void drain();
+
+  std::size_t pending() const;
+
+ private:
+  struct Job {
+    std::string line;
+    json::Value id;  ///< pre-parsed for cancel/deadline bookkeeping
+    Sink sink;
+    bool cancelled = false;
+    double deadline_ms = 0.0;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  struct ClientQueue {
+    std::deque<Job> jobs;
+    bool closed = false;
+  };
+
+  void dispatcher_loop();
+
+  Service& service_;
+  Options opt_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_space_;     ///< queue below capacity
+  std::condition_variable cv_work_;      ///< work available / state change
+  std::condition_variable cv_drained_;   ///< outstanding == 0
+  std::map<int, ClientQueue> clients_;   ///< ordered: stable round-robin
+  int next_client_ = 0;
+  int rr_cursor_ = 0;                    ///< round-robin position (client id)
+  std::size_t queued_ = 0;
+  std::size_t outstanding_ = 0;          ///< submitted, not yet delivered
+  bool paused_ = false;
+  bool stop_ = false;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace ivory::serve

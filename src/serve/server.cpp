@@ -1,0 +1,213 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ivory::serve {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw InvalidParameter("serve: " + what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; its remaining responses are dropped
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+/// Shared between the reader thread and the scheduler's delivery sink.
+struct Server::Connection {
+  int fd = -1;
+  int client = -1;  ///< scheduler client id
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t in_flight = 0;  ///< submitted, response not yet written
+  std::atomic<bool> closing{false};
+
+  void job_done() {
+    std::lock_guard<std::mutex> lock(mu);
+    --in_flight;
+    cv.notify_all();
+  }
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return in_flight == 0; });
+  }
+};
+
+Server::Server(ServerOptions opt) : opt_(std::move(opt)), service_(opt_.service) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  require(!opt_.socket_path.empty(), "serve: socket_path is required");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(opt_.socket_path.size() < sizeof(addr.sun_path),
+          "serve: socket path longer than sockaddr_un allows: " + opt_.socket_path);
+  std::strncpy(addr.sun_path, opt_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) sys_fail("socket");
+  ::unlink(opt_.socket_path.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    sys_fail("bind " + opt_.socket_path);
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    sys_fail("listen");
+  }
+
+  Scheduler::Options sopt;
+  sopt.queue_capacity = opt_.queue_capacity;
+  sopt.wave = opt_.wave;
+  scheduler_ = std::make_unique<Scheduler>(service_, sopt);
+
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  // Closing the listen socket makes accept() fail and the accept loop exit.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Unblock readers stuck on read(): shut down every live connection's
+  // receive side; readers then drain their in-flight jobs and exit.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& c : conns_) {
+      c->closing.store(true);
+      std::lock_guard<std::mutex> conn_lock(c->mu);
+      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RD);
+    }
+  }
+  for (std::thread& t : reader_threads_)
+    if (t.joinable()) t.join();
+  reader_threads_.clear();
+
+  scheduler_.reset();  // drains nothing further; all jobs were delivered
+  ::unlink(opt_.socket_path.c_str());
+}
+
+void Server::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed by stop()
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->client = scheduler_->open_client();
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(conn);
+    reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  std::string buf;
+  char chunk[4096];
+  while (true) {
+    const ssize_t r = ::read(conn->fd, chunk, sizeof chunk);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;  // EOF or error: stop reading, flush what we have
+    buf.append(chunk, static_cast<std::size_t>(r));
+    std::size_t start = 0;
+    for (std::size_t nl = buf.find('\n', start); nl != std::string::npos;
+         nl = buf.find('\n', start)) {
+      std::string line = buf.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        ++conn->in_flight;
+      }
+      std::shared_ptr<Connection> c = conn;
+      scheduler_->submit(conn->client, std::move(line), [c](const std::string& response) {
+        if (!c->closing.load()) {
+          std::string out = response;
+          out.push_back('\n');
+          write_all(c->fd, out.data(), out.size());
+        }
+        c->job_done();
+      });
+    }
+    buf.erase(0, start);
+  }
+  // Let every already-submitted job deliver its response before closing.
+  conn->wait_idle();
+  scheduler_->close_client(conn->client);
+  std::lock_guard<std::mutex> lock(conn->mu);
+  ::close(conn->fd);
+  conn->fd = -1;
+}
+
+// ---------------------------------------------------------------------------
+// BlockingClient
+// ---------------------------------------------------------------------------
+
+BlockingClient::BlockingClient(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(socket_path.size() < sizeof(addr.sun_path),
+          "serve: socket path longer than sockaddr_un allows: " + socket_path);
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) sys_fail("socket");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    sys_fail("connect " + socket_path);
+  }
+}
+
+BlockingClient::~BlockingClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void BlockingClient::send_line(const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  write_all(fd_, out.data(), out.size());
+}
+
+std::string BlockingClient::recv_line() {
+  while (true) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t r = ::read(fd_, chunk, sizeof chunk);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) throw NumericalError("serve: connection closed while awaiting response");
+    buf_.append(chunk, static_cast<std::size_t>(r));
+  }
+}
+
+}  // namespace ivory::serve

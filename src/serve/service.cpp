@@ -1,0 +1,263 @@
+#include "serve/service.hpp"
+
+#include "common/statistics.hpp"
+#include "core/dynamic.hpp"
+#include "core/pds.hpp"
+#include "core/report_json.hpp"
+
+namespace ivory::serve {
+
+namespace {
+
+std::string ok_response(const json::Value& id, const std::string& payload) {
+  std::string out = "{\"id\":";
+  out += id.write();
+  out += ",\"ok\":true,\"result\":";
+  out += payload;
+  out += "}";
+  return out;
+}
+
+std::string error_envelope(const json::Value& id, const json::Value& error) {
+  std::string out = "{\"id\":";
+  out += id.write();
+  out += ",\"ok\":false,\"error\":";
+  out += error.write();
+  out += "}";
+  return out;
+}
+
+/// Candidate label for quarantine diagnostics: the canonical body, truncated
+/// so one pathological request cannot bloat a report.
+std::string candidate_label(const Request& req) {
+  constexpr std::size_t kMax = 160;
+  if (req.canonical.size() <= kMax) return req.canonical;
+  return req.canonical.substr(0, kMax) + "...";
+}
+
+json::Value box_to_json(const BoxStats& b) {
+  json::Value::Object o;
+  o.emplace_back("minimum", b.minimum);
+  o.emplace_back("whisker_low", b.whisker_low);
+  o.emplace_back("q1", b.q1);
+  o.emplace_back("median", b.median);
+  o.emplace_back("q3", b.q3);
+  o.emplace_back("whisker_high", b.whisker_high);
+  o.emplace_back("maximum", b.maximum);
+  o.emplace_back("n", static_cast<std::uint64_t>(b.n));
+  return json::Value(std::move(o));
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions opt)
+    : opt_(opt), cache_(opt.cache_capacity, opt.cache_shards) {}
+
+std::string Service::error_response(const json::Value& id, const std::string& code,
+                                    const std::string& detail) {
+  json::Value::Object err;
+  err.emplace_back("code", code);
+  err.emplace_back("site", "serve");
+  err.emplace_back("candidate", "");
+  err.emplace_back("detail", detail);
+  return error_envelope(id, json::Value(std::move(err)));
+}
+
+std::string Service::handle_line(const std::string& line) {
+  n_requests_.fetch_add(1, std::memory_order_relaxed);
+  json::Value id;  // null until the request proves it has one
+
+  json::Value root;
+  try {
+    root = json::Value::parse(line);
+  } catch (const std::exception& e) {
+    n_errors_.fetch_add(1, std::memory_order_relaxed);
+    return error_response(id, "bad_request", e.what());
+  }
+  // Echo the id even when envelope validation fails below.
+  if (const json::Value* i = root.find("id"))
+    if (i->is_null() || i->is_string() || i->is_number()) id = *i;
+
+  Request req;
+  try {
+    req = parse_request(root);
+  } catch (const std::exception& e) {
+    n_errors_.fetch_add(1, std::memory_order_relaxed);
+    return error_response(id, "bad_request", e.what());
+  }
+
+  if (req.op == Op::Stats) {
+    const ServiceStats s = stats();
+    json::Value::Object cache;
+    cache.emplace_back("hits", s.cache.hits);
+    cache.emplace_back("misses", s.cache.misses);
+    cache.emplace_back("evictions", s.cache.evictions);
+    cache.emplace_back("entries", s.cache.entries);
+    cache.emplace_back("capacity", s.cache.capacity);
+    json::Value::Object o;
+    o.emplace_back("cache", json::Value(std::move(cache)));
+    o.emplace_back("n_requests", s.n_requests);
+    o.emplace_back("n_evaluations", s.n_evaluations);
+    o.emplace_back("n_errors", s.n_errors);
+    return ok_response(req.id, json::Value(std::move(o)).write());
+  }
+
+  if (std::optional<std::string> hit = cache_.lookup(req.key, req.canonical))
+    return ok_response(req.id, *hit);
+
+  const EvalOutcome<std::string> out =
+      quarantine(std::string("serve.") + op_name(req.op), candidate_label(req), [&] {
+        n_evaluations_.fetch_add(1, std::memory_order_relaxed);
+        return evaluate(req);
+      });
+  if (!out.ok()) {
+    // Failures are never cached: the next identical request re-evaluates.
+    n_errors_.fetch_add(1, std::memory_order_relaxed);
+    const Diagnostics& d = out.diagnostics();
+    json::Value::Object err;
+    err.emplace_back("code", error_code_name(d.code));
+    err.emplace_back("site", d.site);
+    err.emplace_back("candidate", d.candidate);
+    err.emplace_back("detail", d.detail);
+    return error_envelope(req.id, json::Value(std::move(err)));
+  }
+  cache_.insert(req.key, req.canonical, out.value());
+  return ok_response(req.id, out.value());
+}
+
+std::string Service::evaluate(const Request& req) {
+  using json::Value;
+  switch (req.op) {
+    case Op::ScStatic: {
+      const ScStaticParams p = sc_static_params(req.body);
+      Value::Object o;
+      o.emplace_back("analysis",
+                     core::to_json(core::analyze_sc(p.design, p.vin_v, p.i_load_a)));
+      if (p.regulate_v > 0.0)
+        o.emplace_back("regulated", core::to_json(core::analyze_sc_regulated(
+                                        p.design, p.vin_v, p.regulate_v, p.i_load_a)));
+      return Value(std::move(o)).write();
+    }
+    case Op::BuckStatic: {
+      const BuckStaticParams p = buck_static_params(req.body);
+      Value::Object o;
+      o.emplace_back("analysis", core::to_json(core::analyze_buck(p.design, p.vin_v,
+                                                                  p.vout_v, p.i_load_a)));
+      return Value(std::move(o)).write();
+    }
+    case Op::LdoStatic: {
+      const LdoStaticParams p = ldo_static_params(req.body);
+      Value::Object o;
+      o.emplace_back("analysis", core::to_json(core::analyze_ldo(p.design, p.vin_v,
+                                                                 p.vout_v, p.i_load_a)));
+      return Value(std::move(o)).write();
+    }
+    case Op::Explore: {
+      const ExploreParams p = explore_params(req.body);
+      SweepReport report;
+      const std::vector<core::DseResult> results = core::explore(p.sys, p.target, &report);
+      Value::Array arr;
+      arr.reserve(results.size());
+      for (const core::DseResult& r : results) arr.push_back(core::to_json(r));
+      Value::Object o;
+      o.emplace_back("results", Value(std::move(arr)));
+      o.emplace_back("report", to_json(report));
+      return Value(std::move(o)).write();
+    }
+    case Op::Optimize: {
+      const OptimizeParams p = optimize_params(req.body);
+      SweepReport report;
+      Value::Object o;
+      if (p.two_stage)
+        o.emplace_back("result", core::to_json(core::optimize_two_stage(
+                                     p.sys, p.n_distributed, &report)));
+      else
+        o.emplace_back("result", core::to_json(core::optimize_topology(
+                                     p.sys, p.topology, p.n_distributed, &report)));
+      o.emplace_back("report", to_json(report));
+      return Value(std::move(o)).write();
+    }
+    case Op::Pds: {
+      const PdsParams p = pds_params(req.body);
+      const core::DseResult ivr = core::optimize_topology(
+          p.sys, core::IvrTopology::SwitchedCapacitor, p.n_distributed);
+      require(ivr.feasible, "pds: no feasible IVR design for these constraints");
+      const pdn::PdnParams pdn_params = pdn::PdnParams::gpuvolt_default();
+      const core::PdsBreakdown off =
+          core::evaluate_pds_offchip(p.sys, pdn_params, p.v_nom_v, p.guard_off_v);
+      const core::PdsBreakdown on =
+          core::evaluate_pds_ivr(p.sys, pdn_params, ivr, p.v_nom_v, p.guard_ivr_v);
+      Value::Object o;
+      o.emplace_back("ivr_design", core::to_json(ivr));
+      o.emplace_back("offchip", core::to_json(off));
+      o.emplace_back("ivr", core::to_json(on));
+      o.emplace_back("improvement_points", (on.efficiency - off.efficiency) * 100.0);
+      return Value(std::move(o)).write();
+    }
+    case Op::Transient: {
+      const TransientParams p = transient_params(req.body);
+      std::vector<double> i_load;
+      if (p.has_workload) {
+        const std::size_t n_samples =
+            static_cast<std::size_t>(p.duration_s / p.dt_s);
+        require(n_samples <= opt_.max_samples,
+                "transient: duration/dt exceeds the per-request sample budget");
+        const auto traces = workload::generate_gpu_traces(
+            p.benchmark, p.n_sm, p.sm_avg_w, p.duration_s, p.dt_s, p.seed);
+        const workload::DigitalLoadModel load =
+            workload::DigitalLoadModel::from_average_power(p.sm_avg_w, p.vref_v, 1e9, 0.2);
+        i_load.assign(traces[0].watts.size(), 0.0);
+        for (const workload::PowerTrace& t : traces) {
+          const std::vector<double> i = workload::power_to_current(t, load, p.vref_v);
+          for (std::size_t k = 0; k < i_load.size(); ++k) i_load[k] += i[k];
+        }
+      } else {
+        require(p.i_load_a.size() <= opt_.max_samples,
+                "transient: inline trace exceeds the per-request sample budget");
+        i_load = p.i_load_a;
+      }
+      core::DynWaveform w;
+      switch (p.kind) {
+        case TransientParams::Kind::Sc:
+          w = core::sc_combined_response(p.sc, p.vin_v, p.vref_v, i_load, p.dt_s);
+          break;
+        case TransientParams::Kind::Buck:
+          w = core::buck_combined_response(p.buck, p.vin_v, p.vref_v, i_load, p.dt_s);
+          break;
+        case TransientParams::Kind::Ldo:
+          w = core::ldo_combined_response(p.ldo, p.vin_v, p.vref_v, i_load, p.dt_s);
+          break;
+      }
+      // Settled statistics skip the first fifth (startup transient), the
+      // same warmup convention the CLI's `dynamic` subcommand uses.
+      const std::vector<double> tail(w.v.begin() + static_cast<long>(w.v.size() / 5),
+                                     w.v.end());
+      Value::Object o;
+      o.emplace_back("n_samples", static_cast<std::uint64_t>(w.v.size()));
+      o.emplace_back("dt_s", w.dt_s);
+      o.emplace_back("mean_v", mean(tail));
+      o.emplace_back("p2p_v", peak_to_peak(tail));
+      o.emplace_back("box", box_to_json(box_stats(tail)));
+      if (p.return_waveform) {
+        Value::Array wave;
+        wave.reserve(w.v.size());
+        for (const double v : w.v) wave.push_back(v);
+        o.emplace_back("waveform", Value(std::move(wave)));
+      }
+      return Value(std::move(o)).write();
+    }
+    case Op::Stats: break;  // handled before evaluate()
+  }
+  throw NumericalError("serve: unreachable op dispatch");
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  s.cache = cache_.stats();
+  s.n_requests = n_requests_.load(std::memory_order_relaxed);
+  s.n_evaluations = n_evaluations_.load(std::memory_order_relaxed);
+  s.n_errors = n_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace ivory::serve

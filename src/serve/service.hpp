@@ -1,0 +1,78 @@
+// The batch-evaluation service: one NDJSON request line in, one NDJSON
+// response line out.
+//
+// Response envelope (fixed member order, compact):
+//   {"id":<echoed>,"ok":true,"result":{...}}
+//   {"id":<echoed>,"ok":false,"error":{"code":...,"site":...,"candidate":...,
+//                                      "detail":...}}
+//
+// Determinism contract: for a given request body, the success response bytes
+// are identical whether the result was computed cold or served from the
+// cache, at any thread count — the cache stores the serialized payload, the
+// envelope is rebuilt deterministically around it, and the evaluators
+// themselves are byte-identical across thread counts (the parallel-DSE
+// contract). Cache/throughput counters are deliberately *not* embedded in
+// per-request success responses (that would break the byte-identity
+// guarantee); they are served by the "stats" op and by the batch/serve
+// transports' out-of-band summaries.
+//
+// Failures are never cached: a candidate that dies (organically or under
+// fault injection) is reported as a structured error and re-evaluated on the
+// next request, so a transient fault cannot poison the cache.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "serve/cache.hpp"
+#include "serve/request.hpp"
+
+namespace ivory::serve {
+
+struct ServiceOptions {
+  std::size_t cache_capacity = 4096;  ///< entries across all shards
+  std::size_t cache_shards = 8;
+  /// Upper bound on 'transient' trace/waveform sample counts (guards a
+  /// single request against absurd memory demands).
+  std::size_t max_samples = 1u << 22;
+};
+
+struct ServiceStats {
+  CacheStats cache;
+  std::uint64_t n_requests = 0;     ///< lines handled (including bad ones)
+  std::uint64_t n_evaluations = 0;  ///< model evaluations actually run
+  std::uint64_t n_errors = 0;       ///< error responses produced
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions opt = {});
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Full pipeline for one request line: parse, validate, cache lookup,
+  /// evaluate under quarantine, serialize. Never throws; malformed input
+  /// becomes an {"ok":false,...} response. Thread-safe — pool workers call
+  /// this concurrently.
+  std::string handle_line(const std::string& line);
+
+  ServiceStats stats() const;
+
+  /// Builds an error response envelope (also used by the scheduler for
+  /// cancelled / expired jobs so all failures share one shape).
+  static std::string error_response(const json::Value& id, const std::string& code,
+                                    const std::string& detail);
+
+ private:
+  std::string evaluate(const Request& req);  ///< result payload JSON; throws
+
+  ServiceOptions opt_;
+  ResultCache cache_;
+  std::atomic<std::uint64_t> n_requests_{0};
+  std::atomic<std::uint64_t> n_evaluations_{0};
+  std::atomic<std::uint64_t> n_errors_{0};
+};
+
+}  // namespace ivory::serve

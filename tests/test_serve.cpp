@@ -1,0 +1,380 @@
+// Tests for the batch-evaluation service (src/serve): request validation,
+// cache correctness (cold/warm byte-identity at several thread counts,
+// eviction, fault-poisoning resistance), scheduler cancellation/deadlines,
+// and the Unix-domain-socket transport against the in-process baseline.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "common/hash.hpp"
+#include "common/json.hpp"
+#include "common/parallel.hpp"
+#include "core/sc_model.hpp"
+#include "serve/batch.hpp"
+#include "serve/cache.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace ivory::serve {
+namespace {
+
+json::Value parsed(const std::string& line) { return json::Value::parse(line); }
+
+bool response_ok(const std::string& line) {
+  return parsed(line).find("ok")->as_bool();
+}
+
+std::string error_code(const std::string& line) {
+  return parsed(line).find("error")->find("code")->as_string();
+}
+
+/// A small, fast, deterministic request mix covering several ops, with
+/// sc_static id=1 and id=7 sharing a body (same cache entry despite ids).
+std::vector<std::string> request_mix() {
+  return {
+      R"({"op":"sc_static","id":1,"n":3,"m":1,"cfly":4e-6,"gtot":15e3,"fsw":80e6,"iload":20})",
+      R"({"op":"sc_static","id":2,"n":2,"m":1,"cfly":2e-6,"gtot":8e3,"fsw":60e6,"iload":10,"regulate":1.0})",
+      R"({"op":"buck_static","id":3,"l":5e-9,"fsw":100e6,"phases":4,"iload":10})",
+      R"({"op":"ldo_static","id":4,"vin":1.2,"vout":1.0,"iload":5})",
+      R"({"op":"optimize","id":5,"topology":"sc","dist":4,"power":20,"area":20})",
+      R"({"op":"sc_static","id":7,"m":1,"n":3,"gtot":"15k","cfly":"4u","fsw":"80meg","iload":20})",
+  };
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string all;
+  for (const std::string& l : lines) {
+    all += l;
+    all += '\n';
+  }
+  return all;
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+TEST(Serve, MalformedLineBecomesStructuredError) {
+  Service svc;
+  const std::string r = svc.handle_line("this is not json");
+  EXPECT_FALSE(response_ok(r));
+  EXPECT_EQ(error_code(r), "bad_request");
+  EXPECT_TRUE(parsed(r).find("id")->is_null());
+  EXPECT_EQ(svc.stats().n_errors, 1u);
+}
+
+TEST(Serve, UnknownOpAndMissingOpAreRejected) {
+  Service svc;
+  EXPECT_EQ(error_code(svc.handle_line(R"({"id":1,"op":"frobnicate"})")), "bad_request");
+  EXPECT_EQ(error_code(svc.handle_line(R"({"id":2})")), "bad_request");
+  // The id is still echoed on envelope errors.
+  EXPECT_DOUBLE_EQ(
+      parsed(svc.handle_line(R"({"id":2})")).find("id")->as_number(), 2.0);
+}
+
+TEST(Serve, UnknownAndMistypedFieldsAreNamed) {
+  Service svc;
+  const std::string unknown =
+      svc.handle_line(R"({"op":"sc_static","id":1,"cflyy":4e-6})");
+  EXPECT_FALSE(response_ok(unknown));
+  EXPECT_NE(parsed(unknown).find("error")->find("detail")->as_string().find("cflyy"),
+            std::string::npos);
+
+  const std::string mistyped =
+      svc.handle_line(R"({"op":"sc_static","id":1,"n":2.5})");
+  EXPECT_FALSE(response_ok(mistyped));
+  EXPECT_NE(parsed(mistyped).find("error")->find("detail")->as_string().find("'n'"),
+            std::string::npos);
+
+  const std::string badspice =
+      svc.handle_line(R"({"op":"sc_static","id":1,"cfly":"4lightyears"})");
+  EXPECT_FALSE(response_ok(badspice));
+  // Validation failures are not cached as successes.
+  EXPECT_EQ(svc.stats().cache.entries, 0u);
+}
+
+TEST(Serve, ScStaticMatchesDirectModelCall) {
+  Service svc;
+  const std::string r = svc.handle_line(request_mix()[0]);
+  ASSERT_TRUE(response_ok(r));
+  const json::Value doc = parsed(r);
+  const json::Value* analysis = doc.find("result")->find("analysis");
+  ASSERT_NE(analysis, nullptr);
+
+  core::ScDesign d;
+  d.cap_kind = tech::CapKind::DeepTrench;
+  d.n = 3;
+  d.m = 1;
+  d.c_fly_f = 4e-6;
+  d.c_out_f = 0.2e-6;
+  d.g_tot_s = 15e3;
+  d.f_sw_hz = 80e6;
+  d.n_interleave = 8;
+  const core::ScAnalysis a = core::analyze_sc(d, 3.3, 20.0);
+  EXPECT_DOUBLE_EQ(analysis->find("efficiency")->as_number(), a.efficiency);
+  EXPECT_DOUBLE_EQ(analysis->find("vout_v")->as_number(), a.vout_v);
+  EXPECT_DOUBLE_EQ(analysis->find("area_m2")->as_number(), a.area_m2);
+}
+
+TEST(Serve, StatsOpReportsCountersAndIsNeverCached) {
+  Service svc;
+  (void)svc.handle_line(request_mix()[0]);
+  const std::string r = svc.handle_line(R"({"op":"stats","id":0})");
+  ASSERT_TRUE(response_ok(r));
+  const json::Value doc = parsed(r);
+  const json::Value* res = doc.find("result");
+  EXPECT_DOUBLE_EQ(res->find("n_requests")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(res->find("n_evaluations")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(res->find("cache")->find("entries")->as_number(), 1.0);
+  // A second stats call sees different counters — proof it was not cached.
+  const std::string r2 = svc.handle_line(R"({"op":"stats","id":0})");
+  EXPECT_DOUBLE_EQ(parsed(r2).find("result")->find("n_requests")->as_number(), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Cache correctness
+// ---------------------------------------------------------------------------
+
+TEST(Serve, EnvelopeFieldsAndSpellingDoNotSplitCacheEntries) {
+  Service svc;
+  const std::string cold = svc.handle_line(request_mix()[0]);
+  // id=7 spells the same body with reordered keys and SPICE-suffixed
+  // strings... but strings hash differently (structural normalization);
+  // only the *number spelling* and member order normalize.
+  const std::string reordered = svc.handle_line(
+      R"({"id":99,"iload":20,"fsw":8e7,"gtot":15000,"cfly":0.000004,"n":3,"m":1,"op":"sc_static"})");
+  EXPECT_EQ(svc.stats().cache.hits, 1u);
+  // Identical result payload, different echoed id.
+  EXPECT_EQ(*parsed(cold).find("result"), *parsed(reordered).find("result"));
+}
+
+TEST(Serve, ColdAndWarmBytesIdenticalAcrossThreadCounts) {
+  const std::string input = join_lines(request_mix());
+  std::string reference;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    par::set_global_threads(threads);
+    Service svc;
+    std::istringstream in(input);
+    std::ostringstream out;
+    BatchOptions opt;
+    opt.repeat = 2;
+    const BatchSummary summary = run_batch(in, out, svc, opt);
+
+    // Pass 2 replays the identical stream: all hits, zero evaluations, and
+    // (the acceptance criterion) strictly fewer model evaluations.
+    ASSERT_EQ(summary.passes.size(), 2u);
+    EXPECT_GT(summary.passes[1].hits, 0u);
+    EXPECT_GT(summary.passes[1].hit_rate(), 0.0);
+    EXPECT_LT(summary.passes[1].evaluations, summary.passes[0].evaluations);
+    EXPECT_EQ(summary.passes[1].evaluations, 0u);
+    EXPECT_EQ(summary.passes[1].errors, 0u);
+
+    // Warm pass bytes == cold pass bytes, and all thread counts agree.
+    const std::string all = out.str();
+    const std::size_t half = all.size() / 2;
+    ASSERT_EQ(all.size() % 2, 0u);
+    EXPECT_EQ(all.substr(0, half), all.substr(half));
+    if (reference.empty())
+      reference = all;
+    else
+      EXPECT_EQ(all, reference) << "thread count " << threads << " changed bytes";
+  }
+  par::set_global_threads(1);
+}
+
+TEST(Serve, LruEvictionUnderTinyCapacity) {
+  ResultCache cache(2, 1);  // one shard of two entries
+  const auto h = [](const std::string& k) { return fnv1a64(k); };
+  cache.insert(h("a"), "a", "pa");
+  cache.insert(h("b"), "b", "pb");
+  ASSERT_TRUE(cache.lookup(h("a"), "a").has_value());  // promotes "a"
+  cache.insert(h("c"), "c", "pc");                     // evicts LRU = "b"
+  EXPECT_EQ(cache.lookup(h("a"), "a").value(), "pa");
+  EXPECT_EQ(cache.lookup(h("c"), "c").value(), "pc");
+  EXPECT_FALSE(cache.lookup(h("b"), "b").has_value());
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.capacity, 2u);
+}
+
+TEST(Serve, HashCollisionDegradesToMissNotWrongAnswer) {
+  ResultCache cache(4, 1);
+  // Same forged hash, different canonical keys: the second lookup must not
+  // return the first entry's payload.
+  cache.insert(42, "key-one", "payload-one");
+  EXPECT_FALSE(cache.lookup(42, "key-two").has_value());
+  EXPECT_EQ(cache.lookup(42, "key-one").value(), "payload-one");
+}
+
+TEST(Serve, ServiceEvictionStillServesCorrectBytes) {
+  ServiceOptions opt;
+  opt.cache_capacity = 2;
+  opt.cache_shards = 1;
+  Service svc(opt);
+  // 5 distinct requests through a 2-entry cache, then replay: every response
+  // must match its cold bytes even though most were evicted.
+  std::vector<std::string> reqs;
+  for (int n = 2; n <= 6; ++n)
+    reqs.push_back(R"({"op":"sc_static","id":)" + std::to_string(n) +
+                   R"(,"n":)" + std::to_string(n) + R"(,"m":1,"iload":10})");
+  std::vector<std::string> cold;
+  for (const std::string& r : reqs) cold.push_back(svc.handle_line(r));
+  EXPECT_GT(svc.stats().cache.evictions, 0u);
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    EXPECT_EQ(svc.handle_line(reqs[i]), cold[i]) << reqs[i];
+  EXPECT_LE(svc.stats().cache.entries, 2u);
+}
+
+TEST(Serve, FaultedEvaluationIsNotCached) {
+  fault::disarm_all();
+  Service svc;
+  const std::string line = request_mix()[0];
+
+  fault::arm_on_hit("sc_static_analysis", fault::Action::Throw, 1);
+  const std::string failed = svc.handle_line(line);
+  fault::disarm_all();
+
+  EXPECT_FALSE(response_ok(failed));
+  EXPECT_EQ(error_code(failed), "numerical");
+  EXPECT_EQ(parsed(failed).find("error")->find("site")->as_string(), "serve.sc_static");
+  EXPECT_EQ(svc.stats().cache.entries, 0u);  // the failure was not cached
+
+  // With the fault disarmed the same request succeeds and caches normally.
+  const std::string ok = svc.handle_line(line);
+  EXPECT_TRUE(response_ok(ok));
+  EXPECT_EQ(svc.stats().cache.entries, 1u);
+  EXPECT_EQ(svc.handle_line(line), ok);  // served from cache, same bytes
+  EXPECT_EQ(svc.stats().cache.hits, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: ordering, fairness bookkeeping, cancellation, deadlines.
+// ---------------------------------------------------------------------------
+
+TEST(Serve, SchedulerPreservesPerClientOrder) {
+  Service svc;
+  Scheduler::Options opt;
+  opt.wave = 2;
+  Scheduler sched(svc, opt);
+  const int client = sched.open_client();
+  std::mutex mu;
+  std::vector<std::string> got;
+  for (int i = 0; i < 8; ++i) {
+    std::string line = R"({"op":"stats","id":)" + std::to_string(i) + "}";
+    sched.submit(client, std::move(line), [&](const std::string& r) {
+      std::lock_guard<std::mutex> lock(mu);
+      got.push_back(r);
+    });
+  }
+  sched.drain();
+  ASSERT_EQ(got.size(), 8u);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_DOUBLE_EQ(parsed(got[i]).find("id")->as_number(), i) << "position " << i;
+  sched.close_client(client);
+}
+
+TEST(Serve, SchedulerCancelsQueuedJob) {
+  Service svc;
+  Scheduler::Options opt;
+  opt.start_paused = true;
+  Scheduler sched(svc, opt);
+  const int client = sched.open_client();
+  std::mutex mu;
+  std::vector<std::string> got;
+  const auto sink = [&](const std::string& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    got.push_back(r);
+  };
+  sched.submit(client, R"({"op":"stats","id":1})", sink);
+  sched.submit(client, R"({"op":"stats","id":2})", sink);
+  EXPECT_TRUE(sched.cancel(client, json::Value(2.0)));
+  EXPECT_FALSE(sched.cancel(client, json::Value(99.0)));  // no such job
+  sched.resume();
+  sched.drain();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_TRUE(response_ok(got[0]));
+  EXPECT_FALSE(response_ok(got[1]));
+  EXPECT_EQ(error_code(got[1]), "cancelled");
+  sched.close_client(client);
+}
+
+TEST(Serve, SchedulerExpiresDeadlinedJob) {
+  Service svc;
+  Scheduler::Options opt;
+  opt.start_paused = true;
+  Scheduler sched(svc, opt);
+  const int client = sched.open_client();
+  std::mutex mu;
+  std::vector<std::string> got;
+  const auto sink = [&](const std::string& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    got.push_back(r);
+  };
+  // 1 ms deadline, held paused for 50 ms: expired before dispatch. The
+  // deadline-free sibling must still evaluate.
+  sched.submit(client, R"({"op":"stats","id":1,"deadline_ms":1})", sink);
+  sched.submit(client, R"({"op":"stats","id":2})", sink);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  sched.resume();
+  sched.drain();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_FALSE(response_ok(got[0]));
+  EXPECT_EQ(error_code(got[0]), "deadline_exceeded");
+  EXPECT_TRUE(response_ok(got[1]));
+  sched.close_client(client);
+}
+
+// ---------------------------------------------------------------------------
+// Unix-domain-socket transport vs in-process baseline.
+// ---------------------------------------------------------------------------
+
+TEST(Serve, SocketClientsGetBatchIdenticalBytes) {
+  // Baseline: single-threaded in-process service.
+  par::set_global_threads(1);
+  const std::vector<std::string> reqs = request_mix();
+  std::vector<std::string> expected;
+  {
+    Service svc;
+    for (const std::string& r : reqs) expected.push_back(svc.handle_line(r));
+  }
+
+  par::set_global_threads(4);
+  ServerOptions opt;
+  opt.socket_path = "/tmp/ivory_test_serve_" + std::to_string(::getpid()) + ".sock";
+  Server server(std::move(opt));
+  server.start();
+
+  // Two concurrent clients interleave the same request stream; each must get
+  // its responses in its own submission order with baseline-identical bytes.
+  std::vector<std::vector<std::string>> got(2);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      BlockingClient cli(server.socket_path());
+      for (const std::string& r : reqs) cli.send_line(r);
+      for (std::size_t i = 0; i < reqs.size(); ++i)
+        got[c].push_back(cli.recv_line());
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.stop();
+  par::set_global_threads(1);
+
+  for (int c = 0; c < 2; ++c) {
+    ASSERT_EQ(got[c].size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      EXPECT_EQ(got[c][i], expected[i]) << "client " << c << " line " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ivory::serve

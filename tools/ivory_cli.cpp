@@ -8,31 +8,45 @@
 //   ivory topology  --n 3 --m 2 [--family ladder]
 //   ivory dynamic   --benchmark CFD --dist 4
 //   ivory pds       [--guard-off 110m --guard-ivr 25m]
+//   ivory batch     [--repeat 2 --threads 4]  < requests.ndjson
+//   ivory serve     --socket /tmp/ivory.sock [--threads 4]
 //
 // Numeric flags accept SPICE suffixes (4u, 15k, 80meg, 20m, ...). Areas are
 // in mm^2 (e.g. --area 20).
 #include <cstdio>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "common/statistics.hpp"
 #include "common/table.hpp"
 #include "core/ivory.hpp"
+#include "serve/batch.hpp"
+#include "serve/server.hpp"
 
 using namespace ivory;
 
 namespace {
 
+/// Command-line misuse (as opposed to a failed evaluation): main prints the
+/// message plus the usage text to stderr and exits 2.
+class UsageError : public InvalidParameter {
+ public:
+  explicit UsageError(const std::string& what) : InvalidParameter(what) {}
+};
+
 class Args {
  public:
   Args(int argc, char** argv, int first) {
+    if (first < argc && (argc - first) % 2 != 0)
+      throw UsageError("every flag needs a value");
     for (int i = first; i + 1 < argc; i += 2) {
       std::string key = argv[i];
-      require(key.rfind("--", 0) == 0, "flags must start with --: " + key);
+      if (key.rfind("--", 0) != 0) throw UsageError("flags must start with --: " + key);
       kv_[key.substr(2)] = argv[i + 1];
     }
-    require(first >= argc || (argc - first) % 2 == 0, "every flag needs a value");
   }
 
   double num(const std::string& key, double fallback) const {
@@ -45,6 +59,11 @@ class Args {
   std::string str(const std::string& key, const std::string& fallback) const {
     const auto it = kv_.find(key);
     return it == kv_.end() ? fallback : it->second;
+  }
+  std::string require_str(const std::string& key) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) throw UsageError("missing required flag --" + key);
+    return it->second;
   }
 
  private:
@@ -282,8 +301,54 @@ int cmd_pds(const Args& a) {
   return 0;
 }
 
+int cmd_batch(const Args& a) {
+  const int threads = a.integer("threads", 0);
+  if (threads > 0) par::set_global_threads(static_cast<unsigned>(threads));
+  serve::ServiceOptions sopt;
+  sopt.cache_capacity = static_cast<std::size_t>(a.integer("cache", 4096));
+  serve::Service service(sopt);
+  serve::BatchOptions bopt;
+  bopt.repeat = a.integer("repeat", 1);
+  bopt.wave = static_cast<std::size_t>(a.integer("wave", 0));
+  bopt.queue_capacity = static_cast<std::size_t>(a.integer("queue", 1024));
+  const serve::BatchSummary summary = serve::run_batch(std::cin, std::cout, service, bopt);
+  // Counters live on stderr so response bytes on stdout stay replayable.
+  std::fprintf(stderr, "%s\n", serve::summary_json(summary).c_str());
+  return 0;
+}
+
+int cmd_serve(const Args& a) {
+  const int threads = a.integer("threads", 0);
+  if (threads > 0) par::set_global_threads(static_cast<unsigned>(threads));
+  serve::ServerOptions o;
+  o.socket_path = a.require_str("socket");
+  o.service.cache_capacity = static_cast<std::size_t>(a.integer("cache", 4096));
+  o.queue_capacity = static_cast<std::size_t>(a.integer("queue", 1024));
+  o.wave = static_cast<std::size_t>(a.integer("wave", 0));
+  serve::Server server(std::move(o));
+  server.start();
+  std::fprintf(stderr, "ivory serve: listening on %s (EOF on stdin stops the server)\n",
+               server.socket_path().c_str());
+  char buf[256];
+  while (std::fgets(buf, sizeof buf, stdin) != nullptr) {
+  }
+  server.stop();
+  const serve::ServiceStats s = server.stats();
+  std::fprintf(stderr,
+               "ivory serve: handled %llu requests (%llu evaluated, %llu errors), "
+               "cache %llu/%llu hit/miss, %llu evictions\n",
+               static_cast<unsigned long long>(s.n_requests),
+               static_cast<unsigned long long>(s.n_evaluations),
+               static_cast<unsigned long long>(s.n_errors),
+               static_cast<unsigned long long>(s.cache.hits),
+               static_cast<unsigned long long>(s.cache.misses),
+               static_cast<unsigned long long>(s.cache.evictions));
+  return 0;
+}
+
 void usage() {
-  std::printf(
+  std::fprintf(
+      stderr,
       "ivory — early-stage IVR design space exploration (DAC'17 reproduction)\n\n"
       "  ivory explore  [--vin V --vout V --power W --area mm2 --node N --cap K]\n"
       "  ivory sc       [--n N --m M --family F --cfly F --gtot S --fsw Hz --vin V\n"
@@ -292,7 +357,11 @@ void usage() {
       "                  --vin V --vout V --iload A --inductor smt|interposer|magnetic]\n"
       "  ivory topology [--n N --m M --family ladder|series-parallel]\n"
       "  ivory dynamic  [--benchmark B --dist N --duration s --dt s + explore flags]\n"
-      "  ivory pds      [--guard-off V --guard-ivr V --dist N + explore flags]\n\n"
+      "  ivory pds      [--guard-off V --guard-ivr V --dist N + explore flags]\n"
+      "  ivory batch    [--repeat N --threads N --cache N --queue N --wave N]\n"
+      "                  NDJSON requests on stdin -> NDJSON responses on stdout\n"
+      "  ivory serve    --socket PATH [--threads N --cache N --queue N --wave N]\n"
+      "                  same protocol over a Unix-domain socket; EOF on stdin stops\n\n"
       "Values accept SPICE suffixes: 4u, 15k, 80meg, 110m, ...\n");
 }
 
@@ -304,14 +373,25 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
+  int (*handler)(const Args&) = nullptr;
+  if (cmd == "explore") handler = cmd_explore;
+  else if (cmd == "sc") handler = cmd_sc;
+  else if (cmd == "buck") handler = cmd_buck;
+  else if (cmd == "topology") handler = cmd_topology;
+  else if (cmd == "dynamic") handler = cmd_dynamic;
+  else if (cmd == "pds") handler = cmd_pds;
+  else if (cmd == "batch") handler = cmd_batch;
+  else if (cmd == "serve") handler = cmd_serve;
+  if (handler == nullptr) {
+    std::fprintf(stderr, "ivory: unknown subcommand '%s'\n\n", cmd.c_str());
+    usage();
+    return 2;
+  }
   try {
     const Args args(argc, argv, 2);
-    if (cmd == "explore") return cmd_explore(args);
-    if (cmd == "sc") return cmd_sc(args);
-    if (cmd == "buck") return cmd_buck(args);
-    if (cmd == "topology") return cmd_topology(args);
-    if (cmd == "dynamic") return cmd_dynamic(args);
-    if (cmd == "pds") return cmd_pds(args);
+    return handler(args);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "ivory %s: %s\n\n", cmd.c_str(), e.what());
     usage();
     return 2;
   } catch (const std::exception& e) {
