@@ -6,7 +6,8 @@
 // serial ones, and writes the measurements to BENCH_dse.json so the perf
 // trajectory is tracked across PRs.
 //
-// Usage: bench_dse_scaling [output.json]   (default: BENCH_dse.json)
+// Usage: bench_dse_scaling [--smoke] [output.json]   (default: BENCH_dse.json)
+//   --smoke  single rep, thread counts {1, 2} only (the perf-smoke ctest label)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -71,15 +72,26 @@ struct ScalePoint {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_dse.json";
+  bool smoke = false;
+  std::string out_path = "BENCH_dse.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else
+      out_path = argv[i];
+  }
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  std::printf("=== DSE engine thread scaling (hardware threads: %u) ===\n\n", hw);
+  std::printf("=== DSE engine thread scaling (hardware threads: %u)%s ===\n\n", hw,
+              smoke ? " (smoke)" : "");
 
   const core::SystemParams sys;  // GPU case study, paper Table 1.
-  constexpr int kReps = 3;
+  const int kReps = smoke ? 1 : 3;
 
   // Thread counts to sweep: 1, 2, 4, hardware (deduplicated, ascending).
-  std::vector<unsigned> counts{1, 2, 4, hw};
+  // Smoke keeps just {1, 2}: enough to exercise the pool and the
+  // identical-to-serial check without burning tier-1 time.
+  std::vector<unsigned> counts = smoke ? std::vector<unsigned>{1, 2}
+                                       : std::vector<unsigned>{1, 2, 4, hw};
   std::sort(counts.begin(), counts.end());
   counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
 

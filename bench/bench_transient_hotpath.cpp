@@ -1,0 +1,281 @@
+// Transient hot-path throughput benchmark.
+//
+// Times the switch-level transient engine on the two converters that define
+// its steady-state workload — the Fig. 9 two-phase SC converter and the
+// Fig. 8 buck power stage — in fixed-step and adaptive modes, at LU-cache
+// capacity 1 (the old single-slot behaviour), the default LRU, and 0
+// (refactorize every step). Reports steps/s and LU factorizations per 1k
+// steps, self-checks that every capacity produces byte-identical waveforms,
+// and writes the measurements to BENCH_transient.json so the perf trajectory
+// is tracked across PRs.
+//
+// Usage: bench_transient_hotpath [--smoke] [output.json]
+//   --smoke  tiny sizes + single rep (used by the perf-smoke ctest label)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/ivory.hpp"
+#include "pdn/pdn.hpp"
+
+using namespace ivory;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool identical(const spice::TranResult& a, const spice::TranResult& b) {
+  if (a.time.size() != b.time.size() || a.voltages.size() != b.voltages.size()) return false;
+  if (!a.time.empty() &&
+      std::memcmp(a.time.data(), b.time.data(), a.time.size() * sizeof(double)) != 0)
+    return false;
+  for (std::size_t i = 0; i < a.voltages.size(); ++i) {
+    if (a.voltages[i].size() != b.voltages[i].size()) return false;
+    if (!a.voltages[i].empty() &&
+        std::memcmp(a.voltages[i].data(), b.voltages[i].data(),
+                    a.voltages[i].size() * sizeof(double)) != 0)
+      return false;
+  }
+  return true;
+}
+
+// Fig. 9's converter: 2:1 ladder SC, 100 nF fly/out, 20 MHz.
+core::ScDesign sc_converter() {
+  core::ScDesign d;
+  d.node = tech::Node::n32;
+  d.cap_kind = tech::CapKind::DeepTrench;
+  d.n = 2;
+  d.m = 1;
+  d.c_fly_f = 100e-9;
+  d.c_out_f = 100e-9;
+  d.g_tot_s = 2000.0;
+  d.f_sw_hz = 20e6;
+  return d;
+}
+
+void build_sc(spice::Circuit& ckt, spice::NodeId* vout) {
+  const core::ScDesign d = sc_converter();
+  const core::ScTopology topo = core::make_topology(d.n, d.m, d.family);
+  const core::ChargeVectors cv = core::charge_vectors(topo);
+  const core::ScNetlistResult nodes =
+      core::build_sc_netlist(ckt, topo, cv, 3.3, d.c_fly_f, d.g_tot_s, d.f_sw_hz, d.c_out_f);
+  ckt.add_isource("iload", nodes.vout, spice::kGround, spice::Waveform::dc(0.25));
+  *vout = nodes.vout;
+}
+
+// The same two-phase SC stage fed from the GPUVolt PDN ladder instead of an
+// ideal source: board/package/C4 stages, on-die grid, and their decaps push
+// the MNA system from ~7 to ~20 unknowns — the regime where factoring
+// (O(n^3)) visibly outweighs a cached solve (O(n^2)).
+void build_sc_pdn(spice::Circuit& ckt, spice::NodeId* vout) {
+  const pdn::PdnParams pp = pdn::PdnParams::gpuvolt_default();
+  const pdn::PdnNodes pn = pdn::build_pdn_netlist(ckt, pp, 3.3);
+  const spice::NodeId fly = ckt.node("fly");
+  const spice::NodeId out = ckt.node("out");
+  const spice::PhaseClock clk(20e6, 2, 0.48);
+  ckt.add_switch("s1", pn.die, fly, 0.01, 1e8, clk.control(0), clk.edge_fn(0));
+  ckt.add_switch("s2", fly, out, 0.01, 1e8, clk.control(1), clk.edge_fn(1));
+  ckt.add_capacitor_ic("cfly", fly, spice::kGround, 100e-9, 1.65);
+  ckt.add_capacitor_ic("cout", out, spice::kGround, 100e-9, 1.65);
+  ckt.add_resistor("rl", out, spice::kGround, 3.3);
+  *vout = out;
+}
+
+// Fig. 8's power stage, folded to the single-phase equivalent: complementary
+// high/low switches into L + DCR + output cap, DC load.
+void build_buck(spice::Circuit& ckt, spice::NodeId* vout) {
+  const double f_sw = 100e6, duty = 0.55, i_load = 1.0;
+  const spice::NodeId vin = ckt.node("vin");
+  const spice::NodeId sw = ckt.node("sw");
+  const spice::NodeId lx = ckt.node("lx");
+  const spice::NodeId out = ckt.node("out");
+  ckt.add_vsource("v1", vin, spice::kGround, spice::Waveform::dc(1.8));
+  const spice::PhaseClock clk(f_sw, 1, duty);
+  ckt.add_switch("s_hs", vin, sw, 5e-3, 1e8, clk.control(0), clk.edge_fn(0));
+  ckt.add_switch("s_ls", sw, spice::kGround, 5e-3, 1e8,
+                 [clk](double t) { return !clk.active(0, t); }, clk.edge_fn(0));
+  ckt.add_inductor_ic("l1", sw, lx, 4e-9, i_load);
+  ckt.add_resistor("r_dcr", lx, out, 1e-3);
+  ckt.add_capacitor_ic("cout", out, spice::kGround, 150e-9, 1.0);
+  ckt.add_isource("iload", out, spice::kGround, spice::Waveform::dc(i_load));
+  *vout = out;
+}
+
+struct Scenario {
+  std::string name;
+  std::function<void(spice::Circuit&, spice::NodeId*)> build;
+  double tstop = 0.0;
+  double dt = 0.0;
+  bool adaptive = false;
+};
+
+struct Point {
+  int capacity = 0;
+  double wall_s = 0.0;
+  spice::TranResult res;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_transient.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else
+      out_path = argv[i];
+  }
+  const int reps = smoke ? 1 : 3;
+  // SC: 100 steps/cycle at 20 MHz — the regime the cache targets: coarse
+  // enough that edge-triggered refactorization is a real share of the work
+  // (at very fine resolution factoring amortizes away regardless). Buck: 800
+  // steps/cycle at 100 MHz. Smoke shrinks the horizon ~20x, keeping enough
+  // cycles for the cache to reach steady state.
+  const double sc_tstop = smoke ? 2e-6 : 40e-6;
+  const double sc_dt = 1.0 / (100.0 * 20e6);
+  const double buck_tstop = smoke ? 20e-9 : 400e-9;
+  const double buck_dt = 1.0 / (800.0 * 100e6);
+
+  const std::vector<Scenario> scenarios = {
+      {"sc2_fixed", build_sc, sc_tstop, sc_dt, false},
+      {"sc2_adaptive", build_sc, sc_tstop, sc_dt, true},
+      {"sc2_pdn_fixed", build_sc_pdn, sc_tstop, sc_dt, false},
+      {"buck_fixed", build_buck, buck_tstop, buck_dt, false},
+      {"buck_adaptive", build_buck, buck_tstop, buck_dt, true},
+  };
+  const int kDefaultCapacity = spice::TranSpec{}.lu_cache_capacity;
+  const std::vector<int> capacities = {0, 1, kDefaultCapacity};
+
+  std::printf("=== Transient hot path: keyed LU cache throughput%s ===\n\n",
+              smoke ? " (smoke)" : "");
+
+  bool all_identical = true;
+  double sc_fixed_factor_ratio = 0.0, sc_fixed_speedup = 0.0, sc_fixed_speedup_vs_off = 0.0;
+  double sc_pdn_speedup = 0.0;
+  std::vector<std::pair<Scenario, std::vector<Point>>> all;
+
+  for (const Scenario& s : scenarios) {
+    spice::Circuit ckt;
+    spice::NodeId vout = spice::kGround;
+    s.build(ckt, &vout);
+
+    std::vector<Point> points;
+    for (int cap : capacities) {
+      spice::TranSpec spec;
+      spec.tstop = s.tstop;
+      spec.dt = s.dt;
+      spec.method = spice::Integrator::BackwardEuler;
+      spec.use_ic = true;
+      spec.record_nodes = {vout};
+      spec.adaptive = s.adaptive;
+      spec.lu_cache_capacity = cap;
+
+      Point p;
+      p.capacity = cap;
+      p.wall_s = 1e300;
+      for (int r = 0; r < reps; ++r) {
+        const auto t0 = Clock::now();
+        spice::TranResult res = spice::transient(ckt, spec);
+        p.wall_s = std::min(p.wall_s, seconds_since(t0));
+        p.res = std::move(res);
+      }
+      points.push_back(std::move(p));
+    }
+
+    // Byte-identity self-check: every capacity must reproduce the same
+    // waveform bit for bit — a cache hit replays the exact factorization the
+    // same matrix would produce, so any difference is a bug.
+    for (std::size_t i = 1; i < points.size(); ++i)
+      if (!identical(points[0].res, points[i].res)) {
+        std::printf("ERROR: %s waveform differs between lu_cache_capacity=%d and %d\n",
+                    s.name.c_str(), points[0].capacity, points[i].capacity);
+        all_identical = false;
+      }
+
+    TextTable table({"capacity", "steps", "wall", "steps/s", "LU factors", "per 1k steps",
+                     "hits", "evictions", "resident"});
+    for (const Point& p : points) {
+      const double steps = static_cast<double>(p.res.steps_taken);
+      table.add_row({std::to_string(p.capacity), std::to_string(p.res.steps_taken),
+                     TextTable::si(p.wall_s, "s"), TextTable::si(steps / p.wall_s, ""),
+                     std::to_string(p.res.lu_factorizations),
+                     TextTable::num(1e3 * static_cast<double>(p.res.lu_factorizations) / steps, 2),
+                     std::to_string(p.res.lu_cache_hits),
+                     std::to_string(p.res.lu_cache_evictions),
+                     std::to_string(p.res.max_resident_factorizations)});
+    }
+    std::printf("--- %s (tstop %.3g s, dt %.3g s%s) ---\n%s\n", s.name.c_str(), s.tstop, s.dt,
+                s.adaptive ? ", adaptive" : "", table.render().c_str());
+
+    const Point& cap1 = points[1];
+    const Point& capN = points[2];
+    if (s.name == "sc2_fixed") {
+      sc_fixed_factor_ratio = static_cast<double>(cap1.res.lu_factorizations) /
+                              static_cast<double>(std::max<std::size_t>(capN.res.lu_factorizations, 1));
+      sc_fixed_speedup = cap1.wall_s / capN.wall_s;
+      sc_fixed_speedup_vs_off = points[0].wall_s / capN.wall_s;
+    }
+    if (s.name == "sc2_pdn_fixed") sc_pdn_speedup = cap1.wall_s / capN.wall_s;
+    all.emplace_back(s, std::move(points));
+  }
+
+  std::printf("sc2_fixed: default capacity does %.1fx fewer factorizations than capacity 1 "
+              "(wall-clock speedup %.2fx vs capacity 1, %.2fx vs no cache)\n",
+              sc_fixed_factor_ratio, sc_fixed_speedup, sc_fixed_speedup_vs_off);
+  std::printf("sc2_pdn_fixed: wall-clock speedup %.2fx vs capacity 1 (the ~20-unknown MNA "
+              "system, where factoring outweighs a cached solve)\n",
+              sc_pdn_speedup);
+  if (!all_identical)
+    std::printf("ERROR: waveforms are NOT byte-identical across cache capacities!\n");
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::printf("ERROR: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"transient_hotpath\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"reps\": %d,\n", reps);
+  std::fprintf(f, "  \"byte_identical\": %s,\n", all_identical ? "true" : "false");
+  std::fprintf(f, "  \"sc2_fixed_factorization_ratio_cap1_vs_default\": %.3f,\n",
+               sc_fixed_factor_ratio);
+  std::fprintf(f, "  \"sc2_fixed_speedup_default_vs_cap1\": %.3f,\n", sc_fixed_speedup);
+  std::fprintf(f, "  \"sc2_fixed_speedup_default_vs_nocache\": %.3f,\n", sc_fixed_speedup_vs_off);
+  std::fprintf(f, "  \"sc2_pdn_speedup_default_vs_cap1\": %.3f,\n", sc_pdn_speedup);
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (std::size_t si = 0; si < all.size(); ++si) {
+    const Scenario& s = all[si].first;
+    const std::vector<Point>& points = all[si].second;
+    std::fprintf(f, "    {\"name\": \"%s\", \"adaptive\": %s, \"points\": [\n", s.name.c_str(),
+                 s.adaptive ? "true" : "false");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      const double steps = static_cast<double>(p.res.steps_taken);
+      std::fprintf(f,
+                   "      {\"capacity\": %d, \"steps\": %zu, \"wall_s\": %.6e, "
+                   "\"steps_per_s\": %.6e, \"lu_factorizations\": %zu, "
+                   "\"factorizations_per_1k_steps\": %.3f, \"cache_hits\": %zu, "
+                   "\"cache_evictions\": %zu, \"max_resident\": %zu}%s\n",
+                   p.capacity, p.res.steps_taken, p.wall_s, steps / p.wall_s,
+                   p.res.lu_factorizations,
+                   1e3 * static_cast<double>(p.res.lu_factorizations) / steps,
+                   p.res.lu_cache_hits, p.res.lu_cache_evictions,
+                   p.res.max_resident_factorizations, i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", si + 1 < all.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("Wrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}

@@ -122,10 +122,22 @@ class LuFactorization {
   }
 
   std::vector<T> solve(const std::vector<T>& b) const {
+    std::vector<T> x(lu_.rows());
+    solve_into(b, x);
+    return x;
+  }
+
+  /// Allocation-free solve: writes the solution into `x` (resized on first
+  /// use, reused afterwards). `b` and `x` must not alias — the row
+  /// permutation is applied while reading `b`. The transient integrator calls
+  /// this once per step with hoisted buffers, keeping the inner loop free of
+  /// heap traffic.
+  void solve_into(const std::vector<T>& b, std::vector<T>& x) const {
     const std::size_t n = lu_.rows();
     require(b.size() == n, "LuFactorization::solve: dimension mismatch");
+    require(&b != &x, "LuFactorization::solve_into: b and x must not alias");
     const double injected = fault::inject("lu_solve");
-    std::vector<T> x(n);
+    x.resize(n);
     for (std::size_t i = 0; i < n; ++i) x[i] = b[piv_[i]];
     if (n > 0) x[0] += T{injected};
     // Forward substitution (unit lower triangular).
@@ -144,7 +156,6 @@ class LuFactorization {
       if (!detail::is_finite_val(x[i]))
         throw NonFiniteError("LuFactorization::solve: non-finite solution component " +
                              std::to_string(i) + " (ill-conditioned or non-finite system)");
-    return x;
   }
 
  private:

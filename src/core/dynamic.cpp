@@ -17,31 +17,6 @@ void check_trace(const std::vector<double>& i_load, double dt) {
   require(dt > 0.0, "dynamic model: dt must be positive");
 }
 
-// Mean of the load samples covering [t0, t1), answered in O(1) from a prefix
-// sum built once per trace. The cycle loops below ask for a window mean every
-// switching period; the naive per-window rescan made the cycle models
-// O(cycles x window) — quadratic in trace length when f_sw * dt is small.
-class WindowMean {
- public:
-  WindowMean(const std::vector<double>& i, double dt)
-      : dt_(dt), n_(i.size()), prefix_(i.size() + 1, 0.0) {
-    for (std::size_t k = 0; k < n_; ++k) prefix_[k + 1] = prefix_[k] + i[k];
-  }
-
-  double operator()(double t0, double t1) const {
-    std::size_t k0 = static_cast<std::size_t>(std::max(t0, 0.0) / dt_);
-    std::size_t k1 = static_cast<std::size_t>(std::max(t1, 0.0) / dt_);
-    k0 = std::min(k0, n_ - 1);
-    k1 = std::min(std::max(k1, k0 + 1), n_);
-    return (prefix_[k1] - prefix_[k0]) / static_cast<double>(k1 - k0);
-  }
-
- private:
-  double dt_;
-  std::size_t n_;
-  std::vector<double> prefix_;
-};
-
 // Resamples a waveform known at times grid[j] (piecewise linear) onto a
 // uniform dt grid of n samples.
 std::vector<double> resample(const std::vector<double>& times, const std::vector<double>& values,
@@ -138,11 +113,10 @@ DynWaveform sc_cycle_response_traces(const ScDesign& d, const std::vector<double
 
   for (std::size_t k = 0; k < n_cycles; ++k) {
     const double t0 = static_cast<double>(k) * t_sub;
-    const std::size_t idx =
-        std::min(static_cast<std::size_t>(t0 / dt_s), i_load.size() - 1);
+    const std::size_t idx = std::min(load_mean.index_of(t0), i_load.size() - 1);
     const double vin_k = vin_trace[idx];
     const double vref_k = vref_trace[idx];
-    const double i_out = load_mean(t0, t0 + t_sub);
+    const double i_out = load_mean.over_cycle(k, t_sub);
     const bool fire = control == ScControl::FreeRunning || v < vref_k;
     // Paper eq. (2), evaluated semi-implicitly: the transferred charge is
     // computed against the end-of-cycle voltage, which keeps the exact SSL
@@ -188,14 +162,14 @@ DynWaveform buck_cycle_response(const BuckDesign& d, double vin_v, double vref_v
   std::vector<double> times, values;
   times.reserve(n_cycles + 1);
   double v = vref_v + fault::inject("cycle_model");
-  double i_l = load_mean(0.0, t);
+  double i_l = load_mean.over_cycle(0, t);
   double integ = 0.0;
   times.push_back(0.0);
   values.push_back(v);
 
   for (std::size_t k = 0; k < n_cycles; ++k) {
     const double t0 = static_cast<double>(k) * t;
-    const double i_out = load_mean(t0, t0 + t);
+    const double i_out = load_mean.over_cycle(k, t);
     const double err = vref_v - v;
     integ += err;
     const double duty = std::clamp(vref_v / vin_v + kp * err + ki * integ, 0.0, 1.0);
@@ -234,14 +208,14 @@ DynWaveform ldo_cycle_response(const LdoDesign& d, double vin_v, double vref_v,
   std::vector<double> times, values;
   double v = vref_v + fault::inject("cycle_model");
   // Start with the code that carries the initial load.
-  const double i0 = load_mean(0.0, t);
+  const double i0 = load_mean.over_cycle(0, t);
   double code = std::clamp(i0 / ((vin_v - v) * g_full) * segments, 0.0, segments);
   times.push_back(0.0);
   values.push_back(v);
 
   for (std::size_t k = 0; k < n_cycles; ++k) {
     const double t0 = static_cast<double>(k) * t;
-    const double i_out = load_mean(t0, t0 + t);
+    const double i_out = load_mean.over_cycle(k, t);
     // Clocked bang-bang comparator steps the unary array one segment.
     code = std::clamp(code + (v < vref_v ? 1.0 : -1.0), 0.0, segments);
     const double i_pass = (code / segments) * g_full * std::max(vin_v - v, 0.0);

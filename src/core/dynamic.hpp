@@ -22,7 +22,10 @@
 // frequency range, and orders of magnitude faster than SPICE (Fig. 4).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <complex>
+#include <limits>
 #include <vector>
 
 #include "core/buck_model.hpp"
@@ -35,6 +38,63 @@ namespace ivory::core {
 struct DynWaveform {
   double dt_s = 0.0;
   std::vector<double> v;
+};
+
+/// Mean of trace samples covering a time window, answered in O(1) from a
+/// prefix sum built once per trace. The cycle loops ask for a window mean
+/// every switching period; a naive per-window rescan made the cycle models
+/// O(cycles x window) — quadratic in trace length when f_sw * dt is small.
+///
+/// Window edges that are mathematically exact multiples of dt can carry
+/// floating-point residue (k * t_cycle / dt = 61.999...98 instead of 62 for
+/// dt = 1/3e6, t_cycle = 2*dt, k = 31); plain truncation then assigns the
+/// boundary sample to the wrong cycle. Both entry points therefore snap a
+/// quotient that lands within a few ULP of an integer onto that integer
+/// before truncating, and over_cycle() derives *both* edges from the integer
+/// cycle index so consecutive cycles tile the trace without gaps or overlap.
+class WindowMean {
+ public:
+  WindowMean(const std::vector<double>& i, double dt)
+      : dt_(dt), n_(i.size()), prefix_(i.size() + 1, 0.0) {
+    for (std::size_t k = 0; k < n_; ++k) prefix_[k + 1] = prefix_[k] + i[k];
+  }
+
+  /// Mean over switching cycle k of period t_cycle: the samples in
+  /// [k*t_cycle, (k+1)*t_cycle). Preferred by cycle loops — the edge times
+  /// are formed from the integer cycle index here, with the same arithmetic
+  /// for a cycle's upper edge and the next cycle's lower edge.
+  double over_cycle(std::size_t k, double t_cycle) const {
+    return window(index_of(static_cast<double>(k) * t_cycle),
+                  index_of(static_cast<double>(k + 1) * t_cycle));
+  }
+
+  /// Mean over an arbitrary window [t0, t1).
+  double operator()(double t0, double t1) const {
+    return window(index_of(t0), index_of(t1));
+  }
+
+  /// Sample index of time t: trunc(t / dt), except that a quotient within a
+  /// few ULP of an integer counts as that integer.
+  std::size_t index_of(double t) const {
+    const double s = std::max(t, 0.0) / dt_;
+    const double r = std::nearbyint(s);
+    if (std::abs(s - r) <=
+        32.0 * std::numeric_limits<double>::epsilon() * std::max(r, 1.0))
+      return static_cast<std::size_t>(r);
+    return static_cast<std::size_t>(s);
+  }
+
+ private:
+  // Clamps indices into the trace and guarantees a non-empty window.
+  double window(std::size_t k0, std::size_t k1) const {
+    k0 = std::min(k0, n_ - 1);
+    k1 = std::min(std::max(k1, k0 + 1), n_);
+    return (prefix_[k1] - prefix_[k0]) / static_cast<double>(k1 - k0);
+  }
+
+  double dt_;
+  std::size_t n_;
+  std::vector<double> prefix_;
 };
 
 /// SC feedback scheme for the cycle model.

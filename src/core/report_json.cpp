@@ -1,5 +1,7 @@
 #include "core/report_json.hpp"
 
+#include <algorithm>
+
 #include "tech/tech.hpp"
 
 namespace ivory {
@@ -199,6 +201,53 @@ Value to_json(const PdsBreakdown& b) {
   o.emplace_back("p_vrm_loss_w", b.p_vrm_loss_w);
   o.emplace_back("p_total_w", b.p_total_w);
   o.emplace_back("efficiency", b.efficiency);
+  return Value(std::move(o));
+}
+
+Value to_json(const spice::TranResult& r, const std::vector<std::string>& node_names,
+              bool include_waveforms) {
+  require(node_names.size() == r.nodes.size(),
+          "to_json(TranResult): one name per recorded node required");
+  Value::Object o;
+  o.emplace_back("steps_taken", static_cast<std::uint64_t>(r.steps_taken));
+  o.emplace_back("lu_factorizations", static_cast<std::uint64_t>(r.lu_factorizations));
+  o.emplace_back("lu_cache_hits", static_cast<std::uint64_t>(r.lu_cache_hits));
+  o.emplace_back("lu_cache_evictions", static_cast<std::uint64_t>(r.lu_cache_evictions));
+  o.emplace_back("max_resident_factorizations",
+                 static_cast<std::uint64_t>(r.max_resident_factorizations));
+  o.emplace_back("n_points", static_cast<std::uint64_t>(r.time.size()));
+
+  Value::Array nodes;
+  nodes.reserve(r.nodes.size());
+  for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+    const std::vector<double>& v = r.voltages[i];
+    double lo = v.empty() ? 0.0 : v.front(), hi = lo, sum = 0.0;
+    for (double s : v) {
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+      sum += s;
+    }
+    Value::Object n;
+    n.emplace_back("node", node_names[i]);
+    n.emplace_back("final_v", v.empty() ? 0.0 : v.back());
+    n.emplace_back("mean_v", v.empty() ? 0.0 : sum / static_cast<double>(v.size()));
+    n.emplace_back("min_v", lo);
+    n.emplace_back("max_v", hi);
+    if (include_waveforms) {
+      Value::Array wave;
+      wave.reserve(v.size());
+      for (double s : v) wave.push_back(s);
+      n.emplace_back("v", Value(std::move(wave)));
+    }
+    nodes.push_back(Value(std::move(n)));
+  }
+  o.emplace_back("nodes", Value(std::move(nodes)));
+  if (include_waveforms) {
+    Value::Array time;
+    time.reserve(r.time.size());
+    for (double t : r.time) time.push_back(t);
+    o.emplace_back("time_s", Value(std::move(time)));
+  }
   return Value(std::move(o));
 }
 

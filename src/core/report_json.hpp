@@ -11,11 +11,15 @@
 // throws on NaN/Inf as a last line of defense.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "common/json.hpp"
 #include "common/outcome.hpp"
 #include "core/dynamic.hpp"
 #include "core/optimizer.hpp"
 #include "core/pds.hpp"
+#include "spice/analysis.hpp"
 
 namespace ivory {
 
@@ -44,6 +48,14 @@ json::Value to_json(const LdoAnalysis& a);
 json::Value to_json(const DseResult& r);
 json::Value to_json(const TwoStageResult& r);
 json::Value to_json(const PdsBreakdown& b);
+
+/// Transient simulation result: simulator-cost counters (steps taken, LU
+/// factorizations, keyed-cache hits/evictions/high-water mark) plus per-node
+/// settled statistics; the full time/voltage traces only when
+/// `include_waveforms` (they dominate the payload). `node_names[i]` labels
+/// `r.nodes[i]`.
+json::Value to_json(const spice::TranResult& r, const std::vector<std::string>& node_names,
+                    bool include_waveforms);
 
 }  // namespace core
 }  // namespace ivory

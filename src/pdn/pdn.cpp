@@ -85,14 +85,52 @@ std::complex<double> input_impedance(const PdnParams& p, double f_hz) {
 ImpedancePeak find_impedance_peak(const PdnParams& p, double f_lo, double f_hi, int n_pts) {
   require(f_lo > 0.0 && f_hi > f_lo, "find_impedance_peak: need 0 < f_lo < f_hi");
   require(n_pts >= 2, "find_impedance_peak: need at least 2 points");
-  ImpedancePeak best{f_lo, 0.0};
   const double llo = std::log10(f_lo), lhi = std::log10(f_hi);
-  for (int i = 0; i < n_pts; ++i) {
-    const double f = std::pow(10.0, llo + (lhi - llo) * i / (n_pts - 1));
-    const double z = std::abs(input_impedance(p, f));
-    if (z > best.z_ohm) best = {f, z};
+  const auto grid = [&](int i) { return llo + (lhi - llo) * i / (n_pts - 1); };
+  const auto z_at = [&](double lf) {
+    return std::abs(input_impedance(p, std::pow(10.0, lf)));
+  };
+
+  int best_i = 0;
+  double best_z = z_at(grid(0));
+  for (int i = 1; i < n_pts; ++i) {
+    const double z = z_at(grid(i));
+    if (z > best_z) {
+      best_i = i;
+      best_z = z;
+    }
   }
-  return best;
+
+  // Golden-section polish in log-frequency between the neighbours of the best
+  // grid point. The coarse grid only locates a resonance to within one cell;
+  // |Z| is smooth and unimodal inside that bracket, so the search recovers
+  // the true peak without re-sweeping at a denser resolution.
+  double a = grid(std::max(best_i - 1, 0));
+  double b = grid(std::min(best_i + 1, n_pts - 1));
+  constexpr double kInvPhi = 0.6180339887498949;
+  double x1 = b - kInvPhi * (b - a), x2 = a + kInvPhi * (b - a);
+  double z1 = z_at(x1), z2 = z_at(x2);
+  while (b - a > 1e-10) {
+    if (z1 < z2) {
+      a = x1;
+      x1 = x2;
+      z1 = z2;
+      x2 = a + kInvPhi * (b - a);
+      z2 = z_at(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      z2 = z1;
+      x1 = b - kInvPhi * (b - a);
+      z1 = z_at(x1);
+    }
+  }
+  const double lf = 0.5 * (a + b);
+  const double z = z_at(lf);
+  // A multi-modal bracket (two resonances inside one grid cell) could in
+  // principle converge to the lesser peak; never answer worse than the scan.
+  if (z < best_z) return {std::pow(10.0, grid(best_i)), best_z};
+  return {std::pow(10.0, lf), z};
 }
 
 PdnNodes build_pdn_netlist(spice::Circuit& c, const PdnParams& p, double v_supply) {

@@ -51,6 +51,9 @@ struct PdnParams {
 std::complex<double> input_impedance(const PdnParams& p, double f_hz);
 
 /// Peak of |Z| over a log frequency sweep (the classic PDN resonance).
+/// A coarse log-grid scan locates the resonance cell; a golden-section
+/// polish inside that cell then refines it, so small `n_pts` no longer
+/// aliases the board/package resonance.
 struct ImpedancePeak {
   double f_hz;
   double z_ohm;

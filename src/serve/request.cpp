@@ -327,7 +327,44 @@ TransientParams transient_params(const json::Value& body) {
   if (topo == "sc") p.kind = TransientParams::Kind::Sc;
   else if (topo == "buck") p.kind = TransientParams::Kind::Buck;
   else if (topo == "ldo") p.kind = TransientParams::Kind::Ldo;
-  else r.fail("topology", "unknown topology '" + topo + "' (sc|buck|ldo)");
+  else if (topo == "spice") p.kind = TransientParams::Kind::Spice;
+  else r.fail("topology", "unknown topology '" + topo + "' (sc|buck|ldo|spice)");
+
+  if (p.kind == TransientParams::Kind::Spice) {
+    // Switch-level engine: an inline netlist instead of a design object;
+    // sources live in the netlist, so no load trace is accepted.
+    const json::Value* netlist = r.get("netlist");
+    if (!netlist) throw InvalidParameter("transient: topology 'spice' requires 'netlist'");
+    if (!netlist->is_string() || netlist->as_string().empty())
+      r.fail("netlist", "expected a non-empty SPICE netlist string");
+    p.netlist = netlist->as_string();
+    p.tstop_s = r.num("tstop", 0.0);
+    if (!(p.tstop_s > 0.0)) r.fail("tstop", "must be > 0");
+    p.dt_s = r.num("dt", 0.0);
+    if (!(p.dt_s > 0.0)) r.fail("dt", "must be > 0");
+    const std::string method = r.str("method", "trap");
+    if (method == "trap") p.trapezoidal = true;
+    else if (method == "be") p.trapezoidal = false;
+    else r.fail("method", "unknown integrator '" + method + "' (trap|be)");
+    p.use_ic = r.boolean("uic", false);
+    p.record_every = r.integer("record_every", 1);
+    if (p.record_every < 1) r.fail("record_every", "must be >= 1");
+    if (const json::Value* rec = r.get("record")) {
+      if (!rec->is_array()) r.fail("record", "expected an array of node names");
+      for (const json::Value& v : rec->as_array()) {
+        if (!v.is_string()) r.fail("record", "expected node names (strings)");
+        p.record_nodes.push_back(v.as_string());
+      }
+    }
+    p.adaptive = r.boolean("adaptive", false);
+    p.dv_max_v = r.num("dv_max", p.dv_max_v);
+    p.dt_max_s = r.num("dt_max", p.dt_max_s);
+    p.lu_cache_capacity = r.integer("lu_cache", p.lu_cache_capacity);
+    if (p.lu_cache_capacity < 0) r.fail("lu_cache", "must be >= 0");
+    p.return_waveform = r.boolean("return_waveform", false);
+    r.finish();
+    return p;
+  }
 
   const json::Value* design = r.get("design");
   if (!design) throw InvalidParameter("transient: missing required field 'design'");

@@ -113,7 +113,7 @@ struct PdsParams {
 PdsParams pds_params(const json::Value& body);
 
 struct TransientParams {
-  enum class Kind { Sc, Buck, Ldo };
+  enum class Kind { Sc, Buck, Ldo, Spice };
   Kind kind = Kind::Sc;
   core::ScDesign sc;
   core::BuckDesign buck;
@@ -131,6 +131,21 @@ struct TransientParams {
   double duration_s = 20e-6;
   std::uint64_t seed = 1;
   bool return_waveform = false;
+
+  // Switch-level engine (topology "spice"): full MNA transient of an inline
+  // netlist instead of the behavioural cycle models. The response carries
+  // the simulator-cost counters (steps, LU factorizations, keyed-cache
+  // hits/evictions) alongside per-node statistics.
+  std::string netlist;                    ///< SPICE netlist text.
+  double tstop_s = 0.0;                   ///< Required for Kind::Spice.
+  bool trapezoidal = true;                ///< "method": "trap" (default) | "be".
+  bool use_ic = false;                    ///< SPICE UIC semantics.
+  int record_every = 1;
+  std::vector<std::string> record_nodes;  ///< Empty = all non-ground nodes.
+  bool adaptive = false;
+  double dv_max_v = 1e-3;
+  double dt_max_s = 0.0;
+  int lu_cache_capacity = 8;              ///< See spice::TranSpec.
 };
 TransientParams transient_params(const json::Value& body);
 

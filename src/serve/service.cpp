@@ -4,6 +4,7 @@
 #include "core/dynamic.hpp"
 #include "core/pds.hpp"
 #include "core/report_json.hpp"
+#include "spice/parser.hpp"
 
 namespace ivory::serve {
 
@@ -196,6 +197,31 @@ std::string Service::evaluate(const Request& req) {
     }
     case Op::Transient: {
       const TransientParams p = transient_params(req.body);
+      if (p.kind == TransientParams::Kind::Spice) {
+        // Switch-level MNA transient. The same sample budget that bounds
+        // inline traces bounds the step count here.
+        require(p.tstop_s / p.dt_s <= static_cast<double>(opt_.max_samples),
+                "transient: tstop/dt exceeds the per-request sample budget");
+        const spice::Circuit ckt = spice::parse_netlist(p.netlist);
+        spice::TranSpec spec;
+        spec.tstop = p.tstop_s;
+        spec.dt = p.dt_s;
+        spec.method = p.trapezoidal ? spice::Integrator::Trapezoidal
+                                    : spice::Integrator::BackwardEuler;
+        spec.use_ic = p.use_ic;
+        spec.record_every = p.record_every;
+        spec.adaptive = p.adaptive;
+        spec.dv_max_v = p.dv_max_v;
+        spec.dt_max = p.dt_max_s;
+        spec.lu_cache_capacity = p.lu_cache_capacity;
+        for (const std::string& name : p.record_nodes)
+          spec.record_nodes.push_back(ckt.find_node(name));
+        const spice::TranResult res = spice::transient(ckt, spec);
+        std::vector<std::string> names;
+        names.reserve(res.nodes.size());
+        for (const spice::NodeId n : res.nodes) names.push_back(ckt.node_name(n));
+        return core::to_json(res, names, p.return_waveform).write();
+      }
       std::vector<double> i_load;
       if (p.has_workload) {
         const std::size_t n_samples =

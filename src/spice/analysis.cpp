@@ -1,6 +1,9 @@
 #include "spice/analysis.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <limits>
 #include <optional>
 
@@ -270,6 +273,109 @@ TranState initial_state(const Circuit& c, bool use_ic) {
   return st;
 }
 
+// Identity of one transient conductance matrix. The stamped matrix is fully
+// determined by (step size, integrator, switch states): every other
+// contribution — resistors, capacitances, inductances, branch topology — is
+// constant over a run. Keying on the exact bit pattern of h keeps cache hits
+// byte-identical: a hit can only replay the factorization the same matrix
+// would have produced.
+struct FactorKey {
+  std::uint64_t h_bits = 0;
+  bool be = false;
+  std::uint64_t sw_mask = 0;           ///< Packed switch states (<= 64 switches).
+  std::vector<std::uint64_t> sw_wide;  ///< Fallback words above 64 switches.
+
+  friend bool operator==(const FactorKey& a, const FactorKey& b) {
+    return a.h_bits == b.h_bits && a.be == b.be && a.sw_mask == b.sw_mask &&
+           a.sw_wide == b.sw_wide;
+  }
+};
+
+inline std::uint64_t double_bits(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof u);
+  return u;
+}
+
+// Packs the per-step configuration into `key`, reusing its storage (the wide
+// fallback reassigns in place, so steady-state stepping stays allocation-free).
+void pack_factor_key(FactorKey& key, double h, bool be, const std::vector<bool>& sw_closed) {
+  key.h_bits = double_bits(h);
+  key.be = be;
+  const std::size_t n = sw_closed.size();
+  if (n <= 64) {
+    std::uint64_t m = 0;
+    for (std::size_t k = 0; k < n; ++k)
+      if (sw_closed[k]) m |= std::uint64_t{1} << k;
+    key.sw_mask = m;
+    key.sw_wide.clear();
+    return;
+  }
+  key.sw_mask = 0;
+  key.sw_wide.assign((n + 63) / 64, 0);
+  for (std::size_t k = 0; k < n; ++k)
+    if (sw_closed[k]) key.sw_wide[k / 64] |= std::uint64_t{1} << (k % 64);
+}
+
+// Bounded LRU over keyed factorizations. Linear scan: capacities are single
+// digits (one entry per distinct phase configuration), so a scan beats any
+// hashed structure and keeps eviction exact.
+class FactorCache {
+ public:
+  explicit FactorCache(std::size_t capacity) : capacity_(capacity) {
+    entries_.reserve(std::min<std::size_t>(capacity, 64));
+  }
+
+  /// Returns the resident factorization for `key` (refreshing its LRU stamp)
+  /// or nullptr. The pointer is valid until the next insert().
+  ///
+  /// MRU fast path: consecutive steps overwhelmingly repeat the previous
+  /// configuration, and the most recently returned entry already carries the
+  /// maximum stamp — so a repeat costs one key compare, no scan, no stamp
+  /// bump.
+  LuFactorization<double>* find(const FactorKey& key) {
+    if (mru_ < entries_.size() && entries_[mru_].key == key) return &entries_[mru_].lu;
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+      if (entries_[i].key == key) {
+        entries_[i].stamp = ++clock_;
+        mru_ = i;
+        return &entries_[i].lu;
+      }
+    return nullptr;
+  }
+
+  /// Inserts a freshly built factorization, displacing the least recently
+  /// used entry when full. Returns the resident copy.
+  LuFactorization<double>* insert(const FactorKey& key, LuFactorization<double> lu,
+                                  std::size_t* evictions) {
+    if (entries_.size() < capacity_) {
+      entries_.push_back(Entry{key, std::move(lu), ++clock_});
+      mru_ = entries_.size() - 1;
+      return &entries_.back().lu;
+    }
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i)
+      if (entries_[i].stamp < entries_[victim].stamp) victim = i;
+    entries_[victim] = Entry{key, std::move(lu), ++clock_};
+    mru_ = victim;
+    ++*evictions;
+    return &entries_[victim].lu;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    FactorKey key;
+    LuFactorization<double> lu;
+    std::uint64_t stamp;
+  };
+  std::size_t capacity_;
+  std::uint64_t clock_ = 0;
+  std::size_t mru_ = static_cast<std::size_t>(-1);  ///< Index of the last entry returned.
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 
 TranResult transient(const Circuit& c, const TranSpec& spec) {
@@ -295,12 +401,19 @@ TranResult transient(const Circuit& c, const TranSpec& spec) {
   };
   record(0.0);
 
-  std::optional<LuFactorization<double>> lu;
-  double cached_h = -1.0;
-  bool cached_be = false;
-  std::vector<bool> cached_states;
+  require(spec.lu_cache_capacity >= 0, "transient: lu_cache_capacity must be >= 0");
+  const std::size_t cache_capacity = static_cast<std::size_t>(spec.lu_cache_capacity);
+  FactorCache cache(cache_capacity);
+  std::optional<LuFactorization<double>> uncached;  // Capacity-0 (disabled) path.
+  FactorKey key;  // Scratch, reused every step.
 
+  // Hoisted per-step buffers: the steady-state loop below performs no heap
+  // allocation (vector assignments reuse capacity after the first step).
+  std::vector<double> rhs(static_cast<std::size_t>(size), 0.0);
   std::vector<double> x(static_cast<std::size_t>(size), 0.0);
+  std::vector<bool> sw_closed_before;
+  std::vector<bool> sw_vgate_before;
+
   double t = 0.0;
   std::size_t step_index = 0;
   bool first_step = true;
@@ -337,8 +450,8 @@ TranResult transient(const Circuit& c, const TranSpec& spec) {
     // (steps land on edges, so the midpoint is inside a single phase);
     // voltage-controlled switches from the previous accepted solution.
     // Snapshots allow a rejected adaptive step to roll back cleanly.
-    const std::vector<bool> sw_closed_before(st.sw_closed);
-    const std::vector<bool> sw_vgate_before(st.sw_vgate);
+    sw_closed_before = st.sw_closed;
+    sw_vgate_before = st.sw_vgate;
     bool states_changed = first_step;
     for (std::size_t k = 0; k < c.switches().size(); ++k) {
       const Switch& s = c.switches()[k];
@@ -357,8 +470,15 @@ TranResult transient(const Circuit& c, const TranSpec& spec) {
     // One BE step after every discontinuity avoids trapezoidal ringing.
     const bool use_be = spec.method == Integrator::BackwardEuler || first_step || states_changed;
 
-    std::vector<bool> states(st.sw_closed.begin(), st.sw_closed.end());
-    if (!lu || h != cached_h || use_be != cached_be || states != cached_states) {
+    // Factorization lookup: the matrix is determined by (h, integrator,
+    // switch states), so the keyed cache factors once per distinct
+    // configuration and replays it on every later step with the same key.
+    pack_factor_key(key, h, use_be, st.sw_closed);
+    LuFactorization<double>* lu =
+        cache_capacity > 0 ? cache.find(key) : nullptr;
+    if (lu != nullptr) {
+      ++res.lu_cache_hits;
+    } else {
       Matrix<double> g(static_cast<std::size_t>(size), static_cast<std::size_t>(size));
       for (const Resistor& r : c.resistors()) stamp_conductance(g, r.a, r.b, 1.0 / r.ohms);
       for (std::size_t k = 0; k < c.switches().size(); ++k) {
@@ -381,18 +501,24 @@ TranResult transient(const Circuit& c, const TranSpec& spec) {
         g(m, m) -= (use_be ? 1.0 : 2.0) * l.henries / h;
       }
       try {
-        lu.emplace(std::move(g));
+        if (cache_capacity > 0) {
+          lu = cache.insert(key, LuFactorization<double>(std::move(g)),
+                            &res.lu_cache_evictions);
+        } else {
+          uncached.emplace(std::move(g));
+          lu = &*uncached;
+        }
       } catch (const NumericalError& e) {
         throw NumericalError(std::string(e.what()) + " (transient at t=" + std::to_string(t) +
                              ", h=" + std::to_string(h) + ")");
       }
-      cached_h = h;
-      cached_be = use_be;
-      cached_states = states;
       ++res.lu_factorizations;
     }
+    res.max_resident_factorizations =
+        std::max(res.max_resident_factorizations,
+                 cache_capacity > 0 ? cache.size() : std::size_t{1});
 
-    std::vector<double> rhs(static_cast<std::size_t>(size), 0.0);
+    std::fill(rhs.begin(), rhs.end(), 0.0);
     for (std::size_t k = 0; k < c.capacitors().size(); ++k) {
       const Capacitor& cap = c.capacitors()[k];
       const double gc = (use_be ? 1.0 : 2.0) * cap.farads / h;
@@ -412,7 +538,7 @@ TranResult transient(const Circuit& c, const TranSpec& spec) {
     }
     for (const ISource& i : c.isources()) stamp_current(rhs, i.neg, i.pos, i.wave(tm));
 
-    x = lu->solve(rhs);
+    lu->solve_into(rhs, x);
 
     if (spec.adaptive) {
       double dv = 0.0;

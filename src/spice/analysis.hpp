@@ -5,8 +5,10 @@
 // and per inductor. The transient integrator supports backward Euler and
 // trapezoidal companion models, lands steps exactly on announced switch edges,
 // takes a backward-Euler step right after any switch event (avoids the
-// classic trapezoidal ringing at discontinuities), and reuses the LU
-// factorization while the step size and every switch state are unchanged.
+// classic trapezoidal ringing at discontinuities), and reuses LU
+// factorizations through a small LRU keyed by (step size, integrator,
+// switch-state bitmask) — a steady-state switched circuit factors once per
+// distinct phase configuration, not once per edge.
 #pragma once
 
 #include <complex>
@@ -56,6 +58,15 @@ struct TranSpec {
   bool adaptive = false;
   double dv_max_v = 1e-3;
   double dt_max = 0.0;
+
+  /// Capacity of the keyed LU-factorization cache: factorizations are kept
+  /// in a small LRU keyed by (step size, integrator, switch-state bitmask),
+  /// so steady-state switched circuits factor once per distinct phase
+  /// configuration instead of once per switch edge. 1 reproduces the old
+  /// single-slot behaviour; 0 disables reuse entirely (refactorize every
+  /// step). The output waveform is byte-identical at every capacity: a cache
+  /// hit replays the exact factorization the same matrix would produce.
+  int lu_cache_capacity = 8;
 };
 
 struct TranResult {
@@ -65,6 +76,14 @@ struct TranResult {
 
   std::size_t steps_taken = 0;
   std::size_t lu_factorizations = 0;
+
+  // Keyed-cache observability (see TranSpec::lu_cache_capacity). Hits count
+  // steps that reused a resident factorization (including consecutive steps
+  // with an unchanged configuration); evictions count LRU displacements;
+  // max_resident_factorizations is the high-water mark of entries held.
+  std::size_t lu_cache_hits = 0;
+  std::size_t lu_cache_evictions = 0;
+  std::size_t max_resident_factorizations = 0;
 
   /// Trace of a recorded node; throws InvalidParameter if it was not recorded.
   const std::vector<double>& at(NodeId n) const;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "spice/phase_clock.hpp"
 
 namespace ivory::spice {
 
@@ -179,6 +180,34 @@ Circuit parse_netlist(const std::string& text) {
       case 'i':
         c.add_isource(name, a, b, parse_source(tok, 3, line_no));
         break;
+      case 's': {
+        // S<name> n+ n- ron roff CLOCK(fsw nphases duty [phase])
+        // Time-controlled switch driven by a multi-phase clock: closed while
+        // its phase slot is active. Announces edges so the transient driver
+        // lands steps on them (and the keyed LU cache sees recurring steps).
+        const double ron = value_at(tok, 3, line_no, "on-resistance");
+        const double roff = value_at(tok, 4, line_no, "off-resistance");
+        if (tok.size() < 6 || tok[5] != "clock")
+          fail(line_no, "switch needs a CLOCK(fsw nphases duty [phase]) drive");
+        const double fsw = value_at(tok, 6, line_no, "CLOCK frequency");
+        const double nph_raw = value_at(tok, 7, line_no, "CLOCK phase count");
+        const int nph = static_cast<int>(nph_raw);
+        if (nph < 1 || static_cast<double>(nph) != nph_raw)
+          fail(line_no, "CLOCK phase count must be a positive integer");
+        const double duty = value_at(tok, 8, line_no, "CLOCK duty");
+        const double k_raw =
+            tok.size() > 9 ? value_at(tok, 9, line_no, "CLOCK phase index") : 0.0;
+        const int k = static_cast<int>(k_raw);
+        if (k < 0 || k >= nph || static_cast<double>(k) != k_raw)
+          fail(line_no, "CLOCK phase index must be an integer in [0, nphases)");
+        try {
+          const PhaseClock clk(fsw, nph, duty);
+          c.add_switch(name, a, b, ron, roff, clk.control(k), clk.edge_fn(k));
+        } catch (const std::exception& e) {
+          fail(line_no, std::string("bad CLOCK drive: ") + e.what());
+        }
+        break;
+      }
       default:
         fail(line_no, "unsupported element '" + name + "'");
     }

@@ -8,6 +8,7 @@
 //   V<name> n+ n- DC value | PULSE(v1 v2 td tr tf pw per) |
 //                 SIN(off amp freq [td [phase]]) | PWL(t1 v1 t2 v2 ...)
 //   I<name> n+ n- (same source forms)
+//   S<name> n+ n- ron roff CLOCK(fsw nphases duty [phase])
 //
 // '*' comment lines, blank lines, and a trailing '.end' are accepted. Values
 // take SPICE suffixes (f p n u m k meg g t). Parsing is case-insensitive.

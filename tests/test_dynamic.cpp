@@ -275,5 +275,36 @@ TEST(Dynamic, MismatchedTraceLengthsThrowWithSizes) {
   EXPECT_THROW(sc_cycle_response_traces(d, vin_ok, vref_long, load, 2e-9), InvalidParameter);
 }
 
+TEST(WindowMean, CycleEdgesSurviveFpResidue) {
+  // Pathological f_sw * dt: dt = 1/3e6 is not exactly representable, and the
+  // cycle period 2*dt recovered as k * t_cycle / dt undershoots an integer by
+  // a few ULP (k = 31 gives 61.999...93, truncating to sample 61 instead of
+  // 62). The trace alternates per cycle, so any off-by-one at a cycle edge
+  // mixes samples from the neighbouring cycle and shifts the mean off 0/1.
+  const double dt = 1.0 / 3e6;
+  const double t_cycle = 2.0 * dt;
+  std::vector<double> trace(400);
+  for (std::size_t k = 0; k < trace.size(); ++k) trace[k] = (k / 2) % 2 ? 1.0 : 0.0;
+  const WindowMean wm(trace, dt);
+  // Sanity: the residue really is there for this pair.
+  EXPECT_LT(31.0 * t_cycle / dt, 62.0);
+  for (std::size_t k = 0; k + 1 < trace.size() / 2; ++k) {
+    const double want = k % 2 ? 1.0 : 0.0;
+    EXPECT_EQ(wm.over_cycle(k, t_cycle), want) << "cycle " << k;
+    const double t0 = static_cast<double>(k) * t_cycle;
+    EXPECT_EQ(wm(t0, t0 + t_cycle), want) << "cycle " << k;
+  }
+}
+
+TEST(WindowMean, IndexOfSnapsOnlyNearIntegers) {
+  const std::vector<double> trace(16, 1.0);
+  const WindowMean wm(trace, 1.0);
+  EXPECT_EQ(wm.index_of(5.0), 5u);
+  EXPECT_EQ(wm.index_of(std::nextafter(5.0, 0.0)), 5u);   // snapped up
+  EXPECT_EQ(wm.index_of(std::nextafter(5.0, 10.0)), 5u);  // snapped down
+  EXPECT_EQ(wm.index_of(5.4), 5u);                        // plain truncation
+  EXPECT_EQ(wm.index_of(-1.0), 0u);
+}
+
 }  // namespace
 }  // namespace ivory::core

@@ -30,6 +30,19 @@ TEST(PdnImpedance, ResonancePeakInTensOfMHz) {
   EXPECT_LT(peak.z_ohm, 50e-3);
 }
 
+TEST(PdnImpedance, CoarseGridPeakMatchesDenseGridAfterPolish) {
+  // The golden-section polish inside the best coarse cell must land on the
+  // same resonance a 100x denser scan finds: a 20-point grid over 7 decades
+  // (~0.37 decades/cell) would otherwise alias the peak frequency badly.
+  const PdnParams p = PdnParams::gpuvolt_default();
+  const ImpedancePeak coarse = find_impedance_peak(p, 1e3, 1e10, 20);
+  const ImpedancePeak dense = find_impedance_peak(p, 1e3, 1e10, 2000);
+  EXPECT_NEAR(coarse.f_hz, dense.f_hz, 0.01 * dense.f_hz);
+  EXPECT_NEAR(coarse.z_ohm, dense.z_ohm, 1e-3 * dense.z_ohm);
+  // The polished coarse answer can only beat a pure grid scan, never trail it.
+  EXPECT_GE(coarse.z_ohm, dense.z_ohm * (1.0 - 1e-9));
+}
+
 TEST(PdnImpedance, ClosedFormMatchesSpiceAc) {
   const PdnParams p = PdnParams::gpuvolt_default();
   spice::Circuit c;

@@ -376,5 +376,92 @@ TEST(Serve, SocketClientsGetBatchIdenticalBytes) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Switch-level transient op (topology "spice"): inline netlist through the
+// MNA engine, with the keyed LU cache behind it.
+// ---------------------------------------------------------------------------
+
+/// Inline two-phase SC netlist request at a given LU-cache capacity. 40
+/// switching cycles at 400 steps/cycle: long enough for the cache to cycle
+/// through every phase configuration, small enough for tier 1.
+std::string spice_transient_request(int lu_cache, int id) {
+  std::ostringstream req;
+  req << R"({"op":"transient","id":)" << id << R"(,"topology":"spice",)"
+      << R"("netlist":"vin in 0 DC 3.3\ns1 in fly 0.01 1e8 CLOCK(20meg 2 0.48 0)\n)"
+      << R"(s2 fly out 0.01 1e8 CLOCK(20meg 2 0.48 1)\ncfly fly 0 100n IC=1.65\n)"
+      << R"(cout out 0 100n IC=1.65\nrl out 0 3.3\n.end\n",)"
+      << R"("tstop":2e-6,"dt":1.25e-10,"method":"be","uic":true,"record":["out"],)"
+      << R"("return_waveform":true,"lu_cache":)" << lu_cache << "}";
+  return req.str();
+}
+
+/// Everything from the per-node stats onward: node summaries, waveform
+/// arrays, and the time grid. The cache counters that precede it
+/// legitimately differ with capacity; these bytes must not.
+std::string waveform_payload(const std::string& line) {
+  const std::size_t at = line.find("\"nodes\"");
+  return at == std::string::npos ? line : line.substr(at);
+}
+
+TEST(Serve, SpiceTransientBytesIdenticalAcrossCacheCapacities) {
+  Service svc;
+  const std::string ref_line = svc.handle_line(spice_transient_request(1, 1));
+  ASSERT_TRUE(response_ok(ref_line)) << ref_line;
+  ASSERT_NE(ref_line.find("\"lu_factorizations\""), std::string::npos);
+  const std::string reference = waveform_payload(ref_line);
+  ASSERT_NE(reference.find("\"time_s\""), std::string::npos);
+  int id = 2;
+  for (const int capacity : {0, 8, 64}) {
+    const std::string line = svc.handle_line(spice_transient_request(capacity, id++));
+    ASSERT_TRUE(response_ok(line)) << line;
+    EXPECT_EQ(waveform_payload(line), reference)
+        << "lu_cache=" << capacity << " changed the waveform bytes";
+  }
+}
+
+TEST(Serve, SpiceTransientBytesIdenticalAcrossThreadCounts) {
+  // The serve path must give the same bytes whether the pool runs 1, 2, or 4
+  // threads: the transient op itself is sequential, so this guards against
+  // any thread-count-dependent state leaking into the response.
+  const std::string input = spice_transient_request(8, 0) + "\n";
+  std::string reference;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    par::set_global_threads(threads);
+    Service svc;
+    std::istringstream in(input);
+    std::ostringstream out;
+    const BatchSummary summary = run_batch(in, out, svc, BatchOptions{});
+    EXPECT_EQ(summary.passes.back().errors, 0u);
+    if (reference.empty())
+      reference = out.str();
+    else
+      EXPECT_EQ(out.str(), reference) << "thread count " << threads << " changed bytes";
+  }
+  par::set_global_threads(1);
+}
+
+TEST(Serve, SpiceTransientSchemaIsStrict) {
+  Service svc;
+  // Missing netlist.
+  const std::string no_netlist = svc.handle_line(
+      R"({"op":"transient","id":1,"topology":"spice","tstop":1e-6,"dt":1e-9})");
+  EXPECT_FALSE(response_ok(no_netlist));
+  EXPECT_NE(parsed(no_netlist).find("error")->find("detail")->as_string().find("netlist"),
+            std::string::npos);
+  // Negative cache capacity.
+  const std::string bad_cap = svc.handle_line(spice_transient_request(-1, 2));
+  EXPECT_FALSE(response_ok(bad_cap));
+  EXPECT_NE(parsed(bad_cap).find("error")->find("detail")->as_string().find("lu_cache"),
+            std::string::npos);
+  // Step budget: tstop/dt beyond max_samples must be rejected, not simulated.
+  ServiceOptions tiny;
+  tiny.max_samples = 100;
+  Service small(tiny);
+  const std::string over = svc.handle_line(spice_transient_request(8, 3));
+  EXPECT_TRUE(response_ok(over));
+  const std::string rejected = small.handle_line(spice_transient_request(8, 4));
+  EXPECT_FALSE(response_ok(rejected));
+}
+
 }  // namespace
 }  // namespace ivory::serve

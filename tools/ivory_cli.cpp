@@ -8,14 +8,17 @@
 //   ivory topology  --n 3 --m 2 [--family ladder]
 //   ivory dynamic   --benchmark CFD --dist 4
 //   ivory pds       [--guard-off 110m --guard-ivr 25m]
+//   ivory transient --netlist circuit.sp --tstop 10u --dt 1n [--record out]
 //   ivory batch     [--repeat 2 --threads 4]  < requests.ndjson
 //   ivory serve     --socket /tmp/ivory.sock [--threads 4]
 //
 // Numeric flags accept SPICE suffixes (4u, 15k, 80meg, 20m, ...). Areas are
 // in mm^2 (e.g. --area 20).
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -301,6 +304,71 @@ int cmd_pds(const Args& a) {
   return 0;
 }
 
+int cmd_transient(const Args& a) {
+  const std::string path = a.require_str("netlist");
+  std::ifstream in(path);
+  if (!in) throw InvalidParameter("cannot open netlist file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  const spice::Circuit ckt = spice::parse_netlist(text.str());
+
+  spice::TranSpec spec;
+  spec.tstop = a.num("tstop", 0.0);
+  if (!(spec.tstop > 0.0)) throw UsageError("missing or non-positive --tstop");
+  spec.dt = a.num("dt", 0.0);
+  if (!(spec.dt > 0.0)) throw UsageError("missing or non-positive --dt");
+  const std::string method = a.str("method", "trap");
+  if (method == "trap") spec.method = spice::Integrator::Trapezoidal;
+  else if (method == "be") spec.method = spice::Integrator::BackwardEuler;
+  else throw UsageError("unknown --method '" + method + "' (trap|be)");
+  spec.use_ic = a.integer("uic", 0) != 0;
+  spec.record_every = a.integer("record-every", 1);
+  spec.adaptive = a.integer("adaptive", 0) != 0;
+  spec.dv_max_v = a.num("dv-max", spec.dv_max_v);
+  spec.dt_max = a.num("dt-max", spec.dt_max);
+  spec.lu_cache_capacity = a.integer("lu-cache", spec.lu_cache_capacity);
+  const std::string record = a.str("record", "");
+  for (std::size_t pos = 0; pos < record.size();) {
+    const std::size_t comma = std::min(record.find(',', pos), record.size());
+    if (comma > pos) spec.record_nodes.push_back(ckt.find_node(record.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+
+  const spice::TranResult res = spice::transient(ckt, spec);
+
+  TextTable t({"node", "final (V)", "mean (V)", "min (V)", "max (V)"});
+  for (std::size_t i = 0; i < res.nodes.size(); ++i) {
+    const std::vector<double>& v = res.voltages[i];
+    double lo = v.front(), hi = lo, sum = 0.0;
+    for (double s : v) {
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+      sum += s;
+    }
+    t.add_row({ckt.node_name(res.nodes[i]), TextTable::num(v.back(), 5),
+               TextTable::num(sum / static_cast<double>(v.size()), 5), TextTable::num(lo, 5),
+               TextTable::num(hi, 5)});
+  }
+  std::printf("%s", t.render().c_str());
+
+  // Simulator cost on stderr (like the batch/serve summaries) so validation
+  // runs expose the hot-path behaviour without a debugger.
+  const double per_1k = res.steps_taken > 0
+                            ? 1e3 * static_cast<double>(res.lu_factorizations) /
+                                  static_cast<double>(res.steps_taken)
+                            : 0.0;
+  std::fprintf(stderr,
+               "ivory transient: %llu steps, %llu LU factorizations (%.2f per 1k steps), "
+               "%llu cache hits, %llu evictions, max resident %llu (capacity %d)\n",
+               static_cast<unsigned long long>(res.steps_taken),
+               static_cast<unsigned long long>(res.lu_factorizations), per_1k,
+               static_cast<unsigned long long>(res.lu_cache_hits),
+               static_cast<unsigned long long>(res.lu_cache_evictions),
+               static_cast<unsigned long long>(res.max_resident_factorizations),
+               spec.lu_cache_capacity);
+  return 0;
+}
+
 int cmd_batch(const Args& a) {
   const int threads = a.integer("threads", 0);
   if (threads > 0) par::set_global_threads(static_cast<unsigned>(threads));
@@ -358,6 +426,9 @@ void usage() {
       "  ivory topology [--n N --m M --family ladder|series-parallel]\n"
       "  ivory dynamic  [--benchmark B --dist N --duration s --dt s + explore flags]\n"
       "  ivory pds      [--guard-off V --guard-ivr V --dist N + explore flags]\n"
+      "  ivory transient --netlist FILE --tstop s --dt s [--method trap|be --uic 1\n"
+      "                  --record n1,n2 --record-every N --adaptive 1 --dv-max V\n"
+      "                  --dt-max s --lu-cache N]  (cost counters on stderr)\n"
       "  ivory batch    [--repeat N --threads N --cache N --queue N --wave N]\n"
       "                  NDJSON requests on stdin -> NDJSON responses on stdout\n"
       "  ivory serve    --socket PATH [--threads N --cache N --queue N --wave N]\n"
@@ -380,6 +451,7 @@ int main(int argc, char** argv) {
   else if (cmd == "topology") handler = cmd_topology;
   else if (cmd == "dynamic") handler = cmd_dynamic;
   else if (cmd == "pds") handler = cmd_pds;
+  else if (cmd == "transient") handler = cmd_transient;
   else if (cmd == "batch") handler = cmd_batch;
   else if (cmd == "serve") handler = cmd_serve;
   if (handler == nullptr) {
