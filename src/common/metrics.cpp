@@ -1,0 +1,267 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace ivory::metrics {
+
+unsigned thread_index() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned idx = next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("IVORY_METRICS");
+    return !(env != nullptr && std::strcmp(env, "0") == 0);
+  }()};
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+void set_enabled(bool on) { enabled_flag().store(on, std::memory_order_relaxed); }
+
+#if !defined(IVORY_NO_METRICS)
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  require(std::is_sorted(bounds_.begin(), bounds_.end()),
+          "metrics: histogram bounds must be ascending");
+  counts_ = std::vector<detail::PaddedU64>((bounds_.size() + 1) * kStripes);
+}
+
+void Histogram::observe(double v) {
+  if (!enabled()) return;
+  std::size_t bucket = 0;
+  while (bucket < bounds_.size() && v > bounds_[bucket]) ++bucket;
+  const std::size_t s = detail::stripe();
+  counts_[bucket * kStripes + s].v.fetch_add(1, std::memory_order_relaxed);
+  // Accumulate the sum through a bit-cast CAS loop: atomic<double> fetch_add
+  // is not universally available, and contention here is one-per-observe on
+  // a private stripe.
+  std::atomic<std::uint64_t>& cell = sums_[s].v;
+  std::uint64_t old_bits = cell.load(std::memory_order_relaxed);
+  for (;;) {
+    double d;
+    std::memcpy(&d, &old_bits, sizeof d);
+    d += v;
+    std::uint64_t new_bits;
+    std::memcpy(&new_bits, &d, sizeof new_bits);
+    if (cell.compare_exchange_weak(old_bits, new_bits, std::memory_order_relaxed)) break;
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  out.bounds = bounds_;
+  out.counts.assign(bounds_.size() + 1, 0);
+  for (std::size_t b = 0; b < out.counts.size(); ++b)
+    for (std::size_t s = 0; s < kStripes; ++s)
+      out.counts[b] += counts_[b * kStripes + s].v.load(std::memory_order_relaxed);
+  for (const std::uint64_t c : out.counts) out.count += c;
+  for (std::size_t s = 0; s < kStripes; ++s) {
+    const std::uint64_t bits = sums_[s].v.load(std::memory_order_relaxed);
+    double d;
+    std::memcpy(&d, &bits, sizeof d);
+    out.sum += d;
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.v.store(0, std::memory_order_relaxed);
+  for (auto& s : sums_) s.v.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::default_latency_bounds_ms() {
+  std::vector<double> b;
+  for (double decade = 0.01; decade < 1e4 * 1.0001; decade *= 10.0) {
+    b.push_back(decade);
+    b.push_back(decade * 2.5);
+    b.push_back(decade * 5.0);
+  }
+  b.pop_back();  // trim above 1e4
+  b.pop_back();
+  return b;  // 0.01 .. 10000 ms
+}
+
+#endif  // !IVORY_NO_METRICS
+
+// The registry itself is identical in both builds; in the IVORY_NO_METRICS
+// build it hands out stub metrics and renders empty sections, so exposition
+// surfaces (`ivory metrics`, the serve "metrics" op) stay wire-compatible.
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // std::map: deterministic (sorted) iteration for JSON output, and node
+  // stability so handed-out references survive later registrations.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
+Registry::~Registry() = default;
+Registry::Impl& Registry::impl() const { return *impl_; }
+
+Counter& Registry::counter(std::string_view name) {
+#if defined(IVORY_NO_METRICS)
+  (void)name;
+  static Counter stub;
+  return stub;
+#else
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.counters[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+#endif
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+#if defined(IVORY_NO_METRICS)
+  (void)name;
+  static Gauge stub;
+  return stub;
+#else
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.gauges[std::string(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+#endif
+}
+
+Histogram& Registry::histogram(std::string_view name, std::vector<double> bounds) {
+#if defined(IVORY_NO_METRICS)
+  (void)name;
+  static Histogram stub{std::move(bounds)};
+  return stub;
+#else
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.histograms[std::string(name)];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+#endif
+}
+
+json::Value Registry::to_json() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  json::Value::Object counters;
+  for (const auto& [name, c] : im.counters) counters.emplace_back(name, c->value());
+  json::Value::Object gauges;
+  for (const auto& [name, g] : im.gauges)
+    gauges.emplace_back(name, static_cast<double>(g->value()));
+  json::Value::Object histograms;
+  for (const auto& [name, h] : im.histograms) {
+    const Histogram::Snapshot s = h->snapshot();
+    json::Value::Array buckets;
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < s.bounds.size(); ++b) {
+      cumulative += s.counts[b];
+      json::Value::Object bucket;
+      bucket.emplace_back("le", s.bounds[b]);
+      bucket.emplace_back("count", cumulative);
+      buckets.emplace_back(std::move(bucket));
+    }
+    json::Value::Object o;
+    o.emplace_back("buckets", json::Value(std::move(buckets)));
+    o.emplace_back("count", s.count);  // == the +inf cumulative bucket
+    o.emplace_back("sum", s.sum);
+    histograms.emplace_back(name, json::Value(std::move(o)));
+  }
+  json::Value::Object root;
+  root.emplace_back("counters", json::Value(std::move(counters)));
+  root.emplace_back("gauges", json::Value(std::move(gauges)));
+  root.emplace_back("histograms", json::Value(std::move(histograms)));
+  return json::Value(std::move(root));
+}
+
+void Registry::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, g] : im.gauges) g->reset();
+  for (auto& [name, h] : im.histograms) h->reset();
+}
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+namespace {
+
+/// Prometheus metric names: '.' and any other non-[a-zA-Z0-9_:] byte
+/// becomes '_'; a leading digit gains a '_' prefix.
+std::string mangle(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') out.push_back('_');
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string format_number(double v) {
+  // Reuse the codec's shortest-round-trip formatting for value bytes.
+  return json::Value(v).write();
+}
+
+}  // namespace
+
+std::string render_prometheus(const json::Value& snapshot) {
+  require(snapshot.is_object(), "render_prometheus: snapshot must be an object");
+  std::string out;
+  const auto section = [&](const char* key) -> const json::Value::Object* {
+    const json::Value* v = snapshot.find(key);
+    return v != nullptr && v->is_object() ? &v->as_object() : nullptr;
+  };
+  if (const json::Value::Object* counters = section("counters"))
+    for (const auto& [name, v] : *counters) {
+      const std::string m = mangle(name);
+      out += "# TYPE " + m + " counter\n";
+      out += m + " " + format_number(v.as_number()) + "\n";
+    }
+  if (const json::Value::Object* gauges = section("gauges"))
+    for (const auto& [name, v] : *gauges) {
+      const std::string m = mangle(name);
+      out += "# TYPE " + m + " gauge\n";
+      out += m + " " + format_number(v.as_number()) + "\n";
+    }
+  if (const json::Value::Object* histograms = section("histograms"))
+    for (const auto& [name, v] : *histograms) {
+      const std::string m = mangle(name);
+      out += "# TYPE " + m + " histogram\n";
+      if (const json::Value* buckets = v.find("buckets"))
+        for (const json::Value& b : buckets->as_array()) {
+          out += m + "_bucket{le=\"" + format_number(b.find("le")->as_number()) + "\"} " +
+                 format_number(b.find("count")->as_number()) + "\n";
+        }
+      const json::Value* count = v.find("count");
+      const json::Value* sum = v.find("sum");
+      require(count != nullptr && sum != nullptr,
+              "render_prometheus: histogram entry missing count/sum");
+      out += m + "_bucket{le=\"+Inf\"} " + format_number(count->as_number()) + "\n";
+      out += m + "_sum " + format_number(sum->as_number()) + "\n";
+      out += m + "_count " + format_number(count->as_number()) + "\n";
+    }
+  return out;
+}
+
+std::string render_prometheus() { return render_prometheus(registry().to_json()); }
+
+}  // namespace ivory::metrics

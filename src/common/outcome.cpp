@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "common/metrics.hpp"
+
 namespace ivory {
 
 const char* error_code_name(ErrorCode code) {
@@ -66,6 +68,25 @@ Diagnostics diagnose_current_exception(std::string site, std::string candidate) 
     d.detail = "non-standard exception";
   }
   return d;
+}
+
+void SweepReport::record_survivor() {
+  ++n_evaluated;
+  ++n_survived;
+  static metrics::Counter& evaluated = metrics::registry().counter("dse.candidates.evaluated");
+  static metrics::Counter& survived = metrics::registry().counter("dse.candidates.survived");
+  evaluated.add();
+  survived.add();
+}
+
+void SweepReport::record_skip(Diagnostics d) {
+  ++n_evaluated;
+  skips.push_back(std::move(d));
+  static metrics::Counter& evaluated = metrics::registry().counter("dse.candidates.evaluated");
+  static metrics::Counter& quarantined =
+      metrics::registry().counter("dse.candidates.quarantined");
+  evaluated.add();
+  quarantined.add();
 }
 
 void SweepReport::merge(const SweepReport& other) {

@@ -118,14 +118,13 @@ struct SweepReport {
   std::size_t n_skipped() const { return skips.size(); }
   bool clean() const { return skips.empty(); }
 
-  void record_survivor() {
-    ++n_evaluated;
-    ++n_survived;
-  }
-  void record_skip(Diagnostics d) {
-    ++n_evaluated;
-    skips.push_back(std::move(d));
-  }
+  // Out of line: each records the candidate on the process metrics registry
+  // ("dse.candidates.*") in addition to this report — every sweep layer
+  // (explore points, optimize variants, cascades) funnels through here
+  // exactly once per candidate, while merge() only sums already-counted
+  // fields.
+  void record_survivor();
+  void record_skip(Diagnostics d);
 
   /// Appends `other` (counters summed, skips concatenated in order).
   void merge(const SweepReport& other);

@@ -1,6 +1,7 @@
 #include "common/parallel.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -11,6 +12,8 @@
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace ivory::par {
 
@@ -26,6 +29,9 @@ struct Batch {
   const std::function<void(std::size_t)>* fn = nullptr;
   std::size_t n = 0;
   std::size_t chunk = 1;
+  /// When the batch became visible to workers; each worker's pickup latency
+  /// against this is the pool's queue-wait metric.
+  std::chrono::steady_clock::time_point published{};
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::atomic<unsigned> active{0};
@@ -105,6 +111,7 @@ class ThreadPool {
   unsigned size() const { return size_; }
 
   void run(Batch& batch) {
+    batch.published = std::chrono::steady_clock::now();
     if (size_ > 1) {
       {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -138,6 +145,13 @@ class ThreadPool {
         seen = generation_;
         batch->active.fetch_add(1, std::memory_order_acq_rel);
       }
+      // Pickup latency: how long the batch sat published before this worker
+      // reached it (scheduler wake + contention, the pool's "queue wait").
+      static metrics::Histogram& queue_wait =
+          metrics::registry().histogram("pool.queue_wait_ms");
+      queue_wait.observe(std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - batch->published)
+                             .count());
       batch->work();
       if (batch->active.fetch_sub(1, std::memory_order_acq_rel) == 1) batch->notify();
     }
@@ -190,6 +204,12 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (t_in_region || n == 1) {
     // Nested region (or trivial loop): rejected from the pool — runs inline,
     // serially, on the calling thread. See the header for why.
+    static metrics::Counter& inline_batches =
+        metrics::registry().counter("pool.inline_batches");
+    static metrics::Counter& inline_indices =
+        metrics::registry().counter("pool.inline_indices");
+    inline_batches.add();
+    inline_indices.add(n);
     const bool was = t_in_region;
     t_in_region = true;
     try {
@@ -202,7 +222,16 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
     return;
   }
 
+  static metrics::Counter& batches = metrics::registry().counter("pool.batches");
+  static metrics::Counter& indices = metrics::registry().counter("pool.indices");
+  static metrics::Histogram& batch_ms = metrics::registry().histogram("pool.batch_ms");
+  batches.add();
+  indices.add(n);
+  IVORY_TRACE("pool.parallel_for");
+  const auto t0 = std::chrono::steady_clock::now();
+
   ThreadPool& pool = global_pool();
+  metrics::registry().gauge("pool.threads").set(static_cast<std::int64_t>(pool.size()));
   Batch batch;
   batch.fn = &fn;
   batch.n = n;
@@ -211,6 +240,9 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   // reductions are serial.
   batch.chunk = std::max<std::size_t>(1, n / (4 * static_cast<std::size_t>(pool.size())));
   pool.run(batch);
+  batch_ms.observe(std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
   if (batch.error) std::rethrow_exception(batch.error);
 }
 

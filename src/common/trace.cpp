@@ -1,0 +1,131 @@
+#include "common/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+
+namespace ivory::trace {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point epoch() {
+  static const Clock::time_point t0 = Clock::now();
+  return t0;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("IVORY_TRACE");
+    return !(env != nullptr && std::strcmp(env, "0") == 0);
+  }()};
+  return flag;
+}
+
+// Bounded ring under a mutex: spans are coarse (requests, batches, runs), so
+// contention is negligible and a mutex keeps snapshot() trivially race-free
+// under ThreadSanitizer — the lock-free budget is spent on the metric
+// stripes, where the call rate is orders of magnitude higher.
+// Storage grows lazily up to `cap` as spans land, so a process that records
+// a handful of spans never pays for (or faults in) the full ring, and the
+// first instrumented operation is not taxed with a megabyte resize.
+struct Ring {
+  std::mutex mu;
+  std::size_t cap = 65536;    ///< maximum resident spans
+  std::vector<Event> events;  ///< grows to cap, then becomes the ring storage
+  std::size_t head = 0;       ///< next write position once full
+  std::uint64_t total = 0;    ///< spans ever recorded since last clear
+};
+
+Ring& ring() {
+  static Ring* r = new Ring;
+  return *r;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+void set_enabled(bool on) { enabled_flag().store(on, std::memory_order_relaxed); }
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - epoch())
+      .count();
+}
+
+void record(const char* name, std::int64_t start_us, std::int64_t dur_us) {
+  if (name == nullptr || !enabled()) return;
+  const unsigned tid = metrics::thread_index();
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.cap == 0) return;  // capacity 0: recording disabled
+  if (r.events.size() < r.cap)
+    r.events.push_back(Event{name, tid, start_us, dur_us});
+  else
+    r.events[r.head] = Event{name, tid, start_us, dur_us};
+  r.head = (r.head + 1) % r.cap;
+  ++r.total;
+}
+
+std::vector<Event> snapshot(std::uint64_t* dropped) {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const std::size_t cap = r.cap;
+  const std::size_t resident = static_cast<std::size_t>(
+      r.total < static_cast<std::uint64_t>(cap) ? r.total : cap);
+  if (dropped != nullptr) *dropped = r.total - resident;
+  std::vector<Event> out;
+  out.reserve(resident);
+  // Oldest first: when full the oldest slot is the next write position.
+  const std::size_t start = r.total >= cap ? r.head : 0;
+  for (std::size_t i = 0; i < resident; ++i)
+    out.push_back(r.events[(start + i) % cap]);
+  return out;
+}
+
+std::string to_chrome_json() {
+  std::uint64_t dropped = 0;
+  const std::vector<Event> events = snapshot(&dropped);
+  json::Value::Array arr;
+  arr.reserve(events.size());
+  for (const Event& e : events) {
+    json::Value::Object o;
+    o.emplace_back("name", std::string(e.name));
+    o.emplace_back("ph", "X");  // complete event: ts + dur
+    o.emplace_back("ts", static_cast<double>(e.start_us));
+    o.emplace_back("dur", static_cast<double>(e.dur_us));
+    o.emplace_back("pid", 1);
+    o.emplace_back("tid", static_cast<std::uint64_t>(e.tid));
+    arr.emplace_back(std::move(o));
+  }
+  json::Value::Object root;
+  root.emplace_back("traceEvents", json::Value(std::move(arr)));
+  root.emplace_back("displayTimeUnit", "ms");
+  root.emplace_back("droppedEvents", dropped);
+  return json::Value(std::move(root)).write();
+}
+
+void clear() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.events.clear();  // keeps the allocation; records append from slot 0 again
+  r.head = 0;
+  r.total = 0;
+}
+
+void set_capacity(std::size_t capacity) {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.cap = capacity;
+  r.events.clear();
+  r.events.shrink_to_fit();
+  r.head = 0;
+  r.total = 0;
+}
+
+}  // namespace ivory::trace

@@ -1,0 +1,93 @@
+// Lightweight per-request span tracer.
+//
+// `IVORY_TRACE("name")` opens a scope guard that records one completed span
+// (name, start, duration, thread) into a process-wide bounded ring buffer
+// when it closes. Spans sit at coarse granularity — a pool batch, a serve
+// request phase, a whole transient run — so the steady-state cost is two
+// steady_clock reads plus one short critical section per span, never
+// per-step work.
+//
+// The ring keeps the most recent `capacity` spans (default 65536); older
+// spans are overwritten and counted as dropped. `to_chrome_json()` dumps the
+// buffer in Chrome `trace_event` format — load the file at chrome://tracing
+// (or https://ui.perfetto.dev) to see where the time went.
+//
+// Span names must be string literals (or otherwise outlive the process):
+// the ring stores the pointer, not a copy, keeping recording allocation-free.
+//
+// Runtime switch: `set_enabled(false)` (or environment IVORY_TRACE=0) makes
+// the guard a no-op. Building with -DIVORY_NO_METRICS compiles the guard
+// away entirely; the dump surfaces then report an empty trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ivory::trace {
+
+struct Event {
+  const char* name = nullptr;  ///< static string; never null in a snapshot
+  unsigned tid = 0;            ///< metrics::thread_index() of the recording thread
+  std::int64_t start_us = 0;   ///< microseconds since the process trace epoch
+  std::int64_t dur_us = 0;
+};
+
+bool enabled();
+void set_enabled(bool on);
+
+/// Records one completed span (called by the Span guard; public so tests and
+/// replayers can inject events).
+void record(const char* name, std::int64_t start_us, std::int64_t dur_us);
+
+/// Microseconds since the process trace epoch (first use).
+std::int64_t now_us();
+
+/// Completed spans currently resident, oldest first. `dropped`, when
+/// non-null, receives the number of spans overwritten since the last clear.
+std::vector<Event> snapshot(std::uint64_t* dropped = nullptr);
+
+/// Chrome trace_event JSON: {"traceEvents":[{"name":...,"ph":"X",...}],
+/// "displayTimeUnit":"ms"}. Valid strict JSON (parseable by json::Value).
+std::string to_chrome_json();
+
+void clear();
+
+/// Resizes the ring (drops resident spans). Capacity 0 disables recording.
+void set_capacity(std::size_t capacity);
+
+#if !defined(IVORY_NO_METRICS)
+
+class Span {
+ public:
+  explicit Span(const char* name) : name_(name), start_us_(enabled() ? now_us() : -1) {}
+  ~Span() {
+    if (start_us_ >= 0) record(name_, start_us_, now_us() - start_us_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_us_;
+};
+
+#define IVORY_TRACE_CONCAT2(a, b) a##b
+#define IVORY_TRACE_CONCAT(a, b) IVORY_TRACE_CONCAT2(a, b)
+#define IVORY_TRACE(name) \
+  ::ivory::trace::Span IVORY_TRACE_CONCAT(ivory_trace_span_, __LINE__)(name)
+
+#else
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+};
+
+#define IVORY_TRACE(name) \
+  do {                    \
+  } while (false)
+
+#endif  // IVORY_NO_METRICS
+
+}  // namespace ivory::trace

@@ -10,7 +10,9 @@
 #include "common/fault.hpp"
 #include "common/optimize.hpp"
 #include "common/outcome.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 
 namespace ivory::core {
 
@@ -412,6 +414,8 @@ DseResult optimize_topology_impl(const SystemParams& sys, IvrTopology topo, int 
 
 DseResult optimize_topology(const SystemParams& sys, IvrTopology topo, int n_distributed,
                             SweepReport* report) {
+  IVORY_TRACE("dse.optimize_topology");
+  metrics::registry().counter("dse.sweeps.optimize_topology").add();
   check_sys(sys);
   require(n_distributed >= 1 && n_distributed <= sys.max_distributed,
           "optimize_topology: distribution count out of range");
@@ -428,6 +432,8 @@ DseResult optimize_topology(const SystemParams& sys, IvrTopology topo, int n_dis
 }
 
 std::vector<DseResult> explore(const SystemParams& sys, OptTarget target, SweepReport* report) {
+  IVORY_TRACE("dse.explore");
+  metrics::registry().counter("dse.sweeps.explore").add();
   check_sys(sys);
   // Fan the topology x distribution-count points out over the pool. Each
   // point is a pure function of (sys, topo, n); results land in the serial
@@ -495,6 +501,8 @@ DseResult best_design(const SystemParams& sys, OptTarget target) {
 
 TwoStageResult optimize_two_stage(const SystemParams& sys, int n_distributed,
                                   SweepReport* report) {
+  IVORY_TRACE("dse.optimize_two_stage");
+  metrics::registry().counter("dse.sweeps.optimize_two_stage").add();
   check_sys(sys);
   require(n_distributed >= 1 && n_distributed <= sys.max_distributed,
           "optimize_two_stage: distribution count out of range");

@@ -2,7 +2,28 @@
 
 #include <algorithm>
 
+#include "common/metrics.hpp"
+
 namespace ivory::serve {
+
+namespace {
+
+// Process-wide cache counters (sum over every ResultCache instance). The
+// references are resolved once; recording is the registry's lock-free path.
+metrics::Counter& g_hits() {
+  static metrics::Counter& c = metrics::registry().counter("serve.cache.hits");
+  return c;
+}
+metrics::Counter& g_misses() {
+  static metrics::Counter& c = metrics::registry().counter("serve.cache.misses");
+  return c;
+}
+metrics::Counter& g_evictions() {
+  static metrics::Counter& c = metrics::registry().counter("serve.cache.evictions");
+  return c;
+}
+
+}  // namespace
 
 ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
   capacity = std::max<std::size_t>(1, capacity);
@@ -17,10 +38,12 @@ std::optional<std::string> ResultCache::lookup(std::uint64_t key_hash,
   std::lock_guard<std::mutex> lock(s.mu);
   const auto it = s.index.find(canonical_key);
   if (it == s.index.end()) {
-    ++s.misses;
+    s.misses.fetch_add(1, std::memory_order_relaxed);
+    g_misses().add();
     return std::nullopt;
   }
-  ++s.hits;
+  s.hits.fetch_add(1, std::memory_order_relaxed);
+  g_hits().add();
   s.lru.splice(s.lru.begin(), s.lru, it->second);  // promote; iterators stay valid
   return it->second->payload;
 }
@@ -39,21 +62,25 @@ void ResultCache::insert(std::uint64_t key_hash, std::string canonical_key,
   if (s.lru.size() >= per_shard_capacity_) {
     s.index.erase(std::string_view(s.lru.back().key));
     s.lru.pop_back();
-    ++s.evictions;
+    s.evictions.fetch_add(1, std::memory_order_relaxed);
+    g_evictions().add();
   }
   s.lru.push_front(Entry{std::move(canonical_key), std::move(payload)});
   s.index.emplace(std::string_view(s.lru.front().key), s.lru.begin());
+  s.entries.store(s.lru.size(), std::memory_order_relaxed);
 }
 
 CacheStats ResultCache::stats() const {
+  // Lock-free aggregation: relaxed reads of the atomic tallies. Counters
+  // may be mid-update while clients poll, but each read is a whole value —
+  // never torn — and monotonicity makes interleaved snapshots meaningful.
   CacheStats out;
   out.capacity = per_shard_capacity_ * shards_.size();
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
-    out.hits += s.hits;
-    out.misses += s.misses;
-    out.evictions += s.evictions;
-    out.entries += s.lru.size();
+    out.hits += s.hits.load(std::memory_order_relaxed);
+    out.misses += s.misses.load(std::memory_order_relaxed);
+    out.evictions += s.evictions.load(std::memory_order_relaxed);
+    out.entries += s.entries.load(std::memory_order_relaxed);
   }
   return out;
 }
@@ -63,6 +90,7 @@ void ResultCache::clear() {
     std::lock_guard<std::mutex> lock(s.mu);
     s.index.clear();
     s.lru.clear();
+    s.entries.store(0, std::memory_order_relaxed);
   }
 }
 

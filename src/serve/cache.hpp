@@ -11,8 +11,16 @@
 // shards (per-shard LRU, not global — an intentionally cheap approximation;
 // a pathological key distribution can evict earlier than a global LRU
 // would, which costs a re-evaluation, never a wrong answer).
+// Counter discipline: hit/miss/eviction tallies are std::atomic — bumped at
+// event time (inside the shard lock) but *read* lock-free by stats(), so
+// concurrent clients polling the "stats"/"metrics" ops never contend with
+// the lookup path and never read torn values. Every event is also routed to
+// the process metrics registry ("serve.cache.*"), which aggregates across
+// all caches in the process; the per-instance CacheStats remain the
+// per-Service snapshot the batch transport diffs between passes.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -65,7 +73,9 @@ class ResultCache {
     std::list<Entry> lru;  ///< front = most recently used
     /// Views point into Entry::key of lru nodes (stable across splice).
     std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
-    std::uint64_t hits = 0, misses = 0, evictions = 0;
+    /// Written under mu, read lock-free by stats().
+    std::atomic<std::uint64_t> hits{0}, misses{0}, evictions{0};
+    std::atomic<std::uint64_t> entries{0};  ///< == lru.size(), mirrored on change
   };
 
   Shard& shard_for(std::uint64_t key_hash) {

@@ -193,17 +193,18 @@ const char* op_name(Op op) {
     case Op::Pds: return "pds";
     case Op::Transient: return "transient";
     case Op::Stats: return "stats";
+    case Op::Metrics: return "metrics";
   }
   return "?";
 }
 
 Op op_from_string(const std::string& name) {
   for (const Op op : {Op::ScStatic, Op::BuckStatic, Op::LdoStatic, Op::Explore, Op::Optimize,
-                      Op::Pds, Op::Transient, Op::Stats})
+                      Op::Pds, Op::Transient, Op::Stats, Op::Metrics})
     if (name == op_name(op)) return op;
   throw InvalidParameter(
       "unknown op '" + name +
-      "' (sc_static|buck_static|ldo_static|explore|optimize|pds|transient|stats)");
+      "' (sc_static|buck_static|ldo_static|explore|optimize|pds|transient|stats|metrics)");
 }
 
 Request parse_request(const json::Value& root) {

@@ -39,6 +39,7 @@ enum class Op {
   Pds,         ///< end-to-end PDS composition, off-chip VRM vs IVR
   Transient,   ///< dynamic waveform summary for a workload trace
   Stats,       ///< service counters (never cached)
+  Metrics,     ///< process metrics-registry snapshot (never cached)
 };
 
 const char* op_name(Op op);

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 
 namespace ivory::serve {
 
@@ -12,6 +14,23 @@ namespace {
 double elapsed_ms(std::chrono::steady_clock::time_point from,
                   std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+struct SchedulerMetrics {
+  metrics::Counter& waves = metrics::registry().counter("serve.scheduler.waves");
+  metrics::Counter& jobs = metrics::registry().counter("serve.scheduler.jobs");
+  metrics::Counter& cancelled = metrics::registry().counter("serve.scheduler.cancelled");
+  metrics::Counter& expired = metrics::registry().counter("serve.scheduler.expired");
+  metrics::Gauge& queue_depth = metrics::registry().gauge("serve.scheduler.queue_depth");
+  metrics::Gauge& wave_size = metrics::registry().gauge("serve.scheduler.wave_size");
+  metrics::Histogram& queue_wait_ms =
+      metrics::registry().histogram("serve.scheduler.queue_wait_ms");
+  metrics::Histogram& wave_ms = metrics::registry().histogram("serve.scheduler.wave_ms");
+};
+
+SchedulerMetrics& sched_metrics() {
+  static SchedulerMetrics m;
+  return m;
 }
 
 }  // namespace
@@ -74,6 +93,8 @@ void Scheduler::submit(int client, std::string line, Sink sink) {
   it->second.jobs.push_back(std::move(job));
   ++queued_;
   ++outstanding_;
+  sched_metrics().jobs.add();
+  sched_metrics().queue_depth.set(static_cast<std::int64_t>(queued_));
   cv_work_.notify_one();
 }
 
@@ -84,6 +105,7 @@ bool Scheduler::cancel(int client, const json::Value& id) {
   for (Job& j : it->second.jobs)
     if (!j.cancelled && j.id == id) {
       j.cancelled = true;
+      sched_metrics().cancelled.add();
       return true;
     }
   return false;
@@ -139,12 +161,19 @@ void Scheduler::dispatcher_loop() {
       }
     }
     rr_cursor_ = it == clients_.end() ? 0 : it->first;
+    sched_metrics().queue_depth.set(static_cast<std::int64_t>(queued_));
     cv_space_.notify_all();
     lock.unlock();
+
+    IVORY_TRACE("serve.wave");
+    SchedulerMetrics& m = sched_metrics();
+    m.waves.add();
+    m.wave_size.set(static_cast<std::int64_t>(wave.size()));
 
     // Evaluate the wave on the deterministic pool. Cancelled and expired
     // jobs short-circuit to structured errors without touching a model.
     const auto now = std::chrono::steady_clock::now();
+    for (const Job& j : wave) m.queue_wait_ms.observe(elapsed_ms(j.enqueued, now));
     std::vector<std::string> responses(wave.size());
     par::parallel_for(wave.size(), [&](std::size_t i) {
       const Job& j = wave[i];
@@ -152,6 +181,7 @@ void Scheduler::dispatcher_loop() {
         responses[i] = Service::error_response(j.id, "cancelled",
                                                "request cancelled before evaluation");
       } else if (j.deadline_ms > 0.0 && elapsed_ms(j.enqueued, now) > j.deadline_ms) {
+        sched_metrics().expired.add();
         responses[i] = Service::error_response(j.id, "deadline_exceeded",
                                                "request waited past its deadline_ms");
       } else {
@@ -161,6 +191,7 @@ void Scheduler::dispatcher_loop() {
 
     // Deliver serially in wave order (= per-client submission order).
     for (std::size_t i = 0; i < wave.size(); ++i) wave[i].sink(responses[i]);
+    m.wave_ms.observe(elapsed_ms(now, std::chrono::steady_clock::now()));
 
     lock.lock();
     outstanding_ -= wave.size();

@@ -1,6 +1,11 @@
 #include "serve/service.hpp"
 
+#include <chrono>
+
+#include "common/metrics.hpp"
+#include "common/parallel.hpp"
 #include "common/statistics.hpp"
+#include "common/trace.hpp"
 #include "core/dynamic.hpp"
 #include "core/pds.hpp"
 #include "core/report_json.hpp"
@@ -9,6 +14,29 @@
 namespace ivory::serve {
 
 namespace {
+
+/// Registry handles for the request pipeline, resolved once. The three
+/// histograms split a request's wall time into its phases: decode (JSON
+/// parse + envelope/body validation), eval (the model evaluation inside the
+/// quarantine), encode (response serialization + cache publication).
+struct ServeMetrics {
+  metrics::Counter& requests = metrics::registry().counter("serve.requests");
+  metrics::Counter& errors = metrics::registry().counter("serve.errors");
+  metrics::Counter& evaluations = metrics::registry().counter("serve.evaluations");
+  metrics::Histogram& decode_ms = metrics::registry().histogram("serve.decode_ms");
+  metrics::Histogram& eval_ms = metrics::registry().histogram("serve.eval_ms");
+  metrics::Histogram& encode_ms = metrics::registry().histogram("serve.encode_ms");
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics m;
+  return m;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 std::string ok_response(const json::Value& id, const std::string& payload) {
   std::string out = "{\"id\":";
@@ -65,14 +93,19 @@ std::string Service::error_response(const json::Value& id, const std::string& co
 }
 
 std::string Service::handle_line(const std::string& line) {
+  IVORY_TRACE("serve.request");
+  ServeMetrics& m = serve_metrics();
   n_requests_.fetch_add(1, std::memory_order_relaxed);
+  m.requests.add();
   json::Value id;  // null until the request proves it has one
 
+  const auto t_decode = std::chrono::steady_clock::now();
   json::Value root;
   try {
     root = json::Value::parse(line);
   } catch (const std::exception& e) {
     n_errors_.fetch_add(1, std::memory_order_relaxed);
+    m.errors.add();
     return error_response(id, "bad_request", e.what());
   }
   // Echo the id even when envelope validation fails below.
@@ -84,8 +117,10 @@ std::string Service::handle_line(const std::string& line) {
     req = parse_request(root);
   } catch (const std::exception& e) {
     n_errors_.fetch_add(1, std::memory_order_relaxed);
+    m.errors.add();
     return error_response(id, "bad_request", e.what());
   }
+  m.decode_ms.observe(ms_since(t_decode));
 
   if (req.op == Op::Stats) {
     const ServiceStats s = stats();
@@ -100,20 +135,33 @@ std::string Service::handle_line(const std::string& line) {
     o.emplace_back("n_requests", s.n_requests);
     o.emplace_back("n_evaluations", s.n_evaluations);
     o.emplace_back("n_errors", s.n_errors);
+    o.emplace_back("metrics_enabled", metrics::enabled());
+    o.emplace_back("pool_threads", static_cast<std::uint64_t>(par::global_threads()));
     return ok_response(req.id, json::Value(std::move(o)).write());
+  }
+
+  if (req.op == Op::Metrics) {
+    // Live registry snapshot; like "stats", never cached and never an
+    // evaluation. The payload is canonical JSON so clients can hash or
+    // diff snapshots bytewise.
+    return ok_response(req.id, metrics::registry().to_json().write_canonical());
   }
 
   if (std::optional<std::string> hit = cache_.lookup(req.key, req.canonical))
     return ok_response(req.id, *hit);
 
+  const auto t_eval = std::chrono::steady_clock::now();
   const EvalOutcome<std::string> out =
       quarantine(std::string("serve.") + op_name(req.op), candidate_label(req), [&] {
         n_evaluations_.fetch_add(1, std::memory_order_relaxed);
+        serve_metrics().evaluations.add();
         return evaluate(req);
       });
+  m.eval_ms.observe(ms_since(t_eval));
   if (!out.ok()) {
     // Failures are never cached: the next identical request re-evaluates.
     n_errors_.fetch_add(1, std::memory_order_relaxed);
+    m.errors.add();
     const Diagnostics& d = out.diagnostics();
     json::Value::Object err;
     err.emplace_back("code", error_code_name(d.code));
@@ -122,8 +170,11 @@ std::string Service::handle_line(const std::string& line) {
     err.emplace_back("detail", d.detail);
     return error_envelope(req.id, json::Value(std::move(err)));
   }
+  const auto t_encode = std::chrono::steady_clock::now();
   cache_.insert(req.key, req.canonical, out.value());
-  return ok_response(req.id, out.value());
+  std::string resp = ok_response(req.id, out.value());
+  m.encode_ms.observe(ms_since(t_encode));
+  return resp;
 }
 
 std::string Service::evaluate(const Request& req) {
@@ -272,7 +323,8 @@ std::string Service::evaluate(const Request& req) {
       }
       return Value(std::move(o)).write();
     }
-    case Op::Stats: break;  // handled before evaluate()
+    case Op::Stats: break;    // handled before evaluate()
+    case Op::Metrics: break;  // handled before evaluate()
   }
   throw NumericalError("serve: unreachable op dispatch");
 }

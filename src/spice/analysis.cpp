@@ -9,6 +9,8 @@
 
 #include "common/error.hpp"
 #include "common/matrix.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace ivory::spice {
 
@@ -379,6 +381,7 @@ class FactorCache {
 }  // namespace
 
 TranResult transient(const Circuit& c, const TranSpec& spec) {
+  IVORY_TRACE("spice.transient");
   require(spec.dt > 0.0, "transient: dt must be positive");
   require(spec.tstop > spec.dt, "transient: tstop must exceed dt");
   require(spec.record_every >= 1, "transient: record_every must be >= 1");
@@ -583,6 +586,26 @@ TranResult transient(const Circuit& c, const TranSpec& spec) {
     if (step_index % static_cast<std::size_t>(spec.record_every) == 0) record(t);
   }
 
+  // Fold the run's counters onto the process registry once, here — the
+  // stepping loop above stays metrics-free, and the TranResult fields remain
+  // the per-run snapshot API (the registry holds process-lifetime totals).
+  {
+    static metrics::Counter& runs = metrics::registry().counter("spice.tran.runs");
+    static metrics::Counter& steps = metrics::registry().counter("spice.tran.steps");
+    static metrics::Counter& factorizations =
+        metrics::registry().counter("spice.tran.lu_factorizations");
+    static metrics::Counter& hits = metrics::registry().counter("spice.tran.lu_cache_hits");
+    static metrics::Counter& evictions =
+        metrics::registry().counter("spice.tran.lu_cache_evictions");
+    runs.add();
+    steps.add(res.steps_taken);
+    factorizations.add(res.lu_factorizations);
+    hits.add(res.lu_cache_hits);
+    evictions.add(res.lu_cache_evictions);
+    metrics::registry()
+        .gauge("spice.tran.max_resident_factorizations")
+        .set_max(static_cast<std::int64_t>(res.max_resident_factorizations));
+  }
   return res;
 }
 

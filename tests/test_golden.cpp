@@ -1,0 +1,92 @@
+// Golden-file regression: shells the real `ivory batch` binary over a fixed
+// NDJSON request set and diffs stdout *bytes* against the checked-in
+// expectation. Any change to number formatting, canonicalization, response
+// envelopes, field order or model arithmetic shows up here first.
+//
+// When an intentional model change shifts the numbers, regenerate with
+//   tools/update_golden.sh
+// and review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef IVORY_CLI_BIN
+#error "IVORY_CLI_BIN must point at the ivory binary"
+#endif
+#ifndef IVORY_GOLDEN_DIR
+#error "IVORY_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream s;
+  s << in.rdbuf();
+  return s.str();
+}
+
+std::string run_stdout(const std::string& cmd) {
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  std::string out;
+  std::array<char, 4096> buf;
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) out.append(buf.data(), n);
+  const int status = pclose(pipe);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0) << cmd;
+  return out;
+}
+
+std::string diff_hint(const std::string& expected, const std::string& actual) {
+  std::size_t line = 1, col = 0;
+  for (std::size_t i = 0; i < std::min(expected.size(), actual.size()); ++i) {
+    if (expected[i] != actual[i]) {
+      return "first byte difference at line " + std::to_string(line) + ", column " +
+             std::to_string(col + 1);
+    }
+    if (expected[i] == '\n') {
+      ++line;
+      col = 0;
+    } else {
+      ++col;
+    }
+  }
+  return "lengths differ: expected " + std::to_string(expected.size()) + " bytes, got " +
+         std::to_string(actual.size());
+}
+
+TEST(Golden, BatchSmokeOutputIsByteIdentical) {
+  const std::string dir = IVORY_GOLDEN_DIR;
+  const std::string expected = read_file(dir + "/batch_smoke.expected");
+  ASSERT_FALSE(expected.empty());
+  // --threads 2 on purpose: responses must come back in submission order and
+  // with identical bytes regardless of pool parallelism.
+  const std::string actual = run_stdout(std::string(IVORY_CLI_BIN) +
+                                        " batch --threads 2 < " + dir +
+                                        "/batch_smoke.ndjson 2>/dev/null");
+  EXPECT_EQ(expected, actual) << diff_hint(expected, actual)
+                              << "\nif the change is intentional, regenerate with "
+                                 "tools/update_golden.sh and review the diff";
+}
+
+TEST(Golden, RepeatAndThreadCountDoNotChangeBytes) {
+  const std::string dir = IVORY_GOLDEN_DIR;
+  const std::string expected = read_file(dir + "/batch_smoke.expected");
+  // --repeat 2 re-submits the same set; the second pass is served from the
+  // result cache and must produce the same bytes again.
+  const std::string twice = run_stdout(std::string(IVORY_CLI_BIN) + " batch --repeat 2 < " +
+                                       dir + "/batch_smoke.ndjson 2>/dev/null");
+  EXPECT_EQ(twice, expected + expected);
+  const std::string serial = run_stdout(std::string(IVORY_CLI_BIN) +
+                                        " batch --threads 1 < " + dir +
+                                        "/batch_smoke.ndjson 2>/dev/null");
+  EXPECT_EQ(serial, expected);
+}
+
+}  // namespace

@@ -1,0 +1,323 @@
+// Observability layer: registry semantics, Prometheus exposition format,
+// the "metrics never perturb results" contract, and the lock-free counter
+// discipline of the serve result cache under concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "core/ivory.hpp"
+#include "core/report_json.hpp"
+#include "serve/cache.hpp"
+#include "serve/service.hpp"
+
+namespace ivory {
+namespace {
+
+/// Every test starts from a zeroed registry so counter assertions are about
+/// this test's work, not whatever ran before it in the process.
+class Observability : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::set_enabled(true);
+    metrics::registry().reset();
+    trace::set_enabled(true);
+    trace::clear();
+  }
+};
+
+TEST_F(Observability, CounterSumsAcrossThreadsExactly) {
+  metrics::Counter& c = metrics::registry().counter("test.obs.counter");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  for (std::thread& w : workers) w.join();
+  // Striped relaxed adds must still sum to the exact total: counters carry
+  // the determinism contract (sums of work done), unlike latency metrics.
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST_F(Observability, RegistryReturnsStableReferencesAndSortedJson) {
+  metrics::Counter& a = metrics::registry().counter("test.obs.zeta");
+  metrics::Counter& b = metrics::registry().counter("test.obs.alpha");
+  EXPECT_EQ(&a, &metrics::registry().counter("test.obs.zeta"));
+  a.add(3);
+  b.add(1);
+  const std::string doc = metrics::registry().to_json().write_canonical();
+  // Canonical form sorts keys bytewise, so alpha serializes before zeta.
+  const std::size_t pa = doc.find("test.obs.alpha");
+  const std::size_t pz = doc.find("test.obs.zeta");
+  ASSERT_NE(pa, std::string::npos);
+  ASSERT_NE(pz, std::string::npos);
+  EXPECT_LT(pa, pz);
+}
+
+TEST_F(Observability, GaugeSetMaxIsAHighWaterMark) {
+  metrics::Gauge& g = metrics::registry().gauge("test.obs.gauge");
+  g.set_max(5);
+  g.set_max(3);
+  EXPECT_EQ(g.value(), 5);
+  g.set_max(9);
+  EXPECT_EQ(g.value(), 9);
+  g.set(-2);
+  EXPECT_EQ(g.value(), -2);
+}
+
+TEST_F(Observability, HistogramBucketsAreCumulativeInJson) {
+  metrics::Histogram& h =
+      metrics::registry().histogram("test.obs.hist", std::vector<double>{1.0, 10.0, 100.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(500.0);  // lands in the implicit +inf bucket
+  const metrics::Histogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);  // three finite bounds + inf
+  EXPECT_EQ(s.counts[0], 1u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_NEAR(s.sum, 555.5, 1e-9);
+
+  const json::Value doc = metrics::registry().to_json();
+  const json::Value* hists = doc.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* hj = hists->find("test.obs.hist");
+  ASSERT_NE(hj, nullptr);
+  const json::Value::Array& buckets = hj->find("buckets")->as_array();
+  ASSERT_EQ(buckets.size(), 3u);
+  // Prometheus convention: bucket counts are cumulative (<= le).
+  EXPECT_EQ(buckets[0].find("count")->as_number(), 1.0);
+  EXPECT_EQ(buckets[1].find("count")->as_number(), 2.0);
+  EXPECT_EQ(buckets[2].find("count")->as_number(), 3.0);
+  EXPECT_EQ(hj->find("count")->as_number(), 4.0);
+}
+
+TEST_F(Observability, RuntimeDisableStopsRecording) {
+  metrics::Counter& c = metrics::registry().counter("test.obs.disabled");
+  c.add(2);
+  metrics::set_enabled(false);
+  c.add(40);
+  metrics::set_enabled(true);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition format (text version 0.0.4).
+// ---------------------------------------------------------------------------
+
+bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_' || s[0] == ':'))
+    return false;
+  for (const char ch : s)
+    if (!(std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' || ch == ':'))
+      return false;
+  return true;
+}
+
+/// Line-level validator: every non-comment line is `name[{labels}] value`
+/// with a grammar-legal metric name and a parseable number.
+void check_prometheus_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t n_samples = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0 || line.rfind("# HELP ", 0) == 0) continue;
+    ASSERT_NE(line[0], '#') << "unknown comment form: " << line;
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    std::string name = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << line;
+      const std::string labels = name.substr(brace + 1, name.size() - brace - 2);
+      EXPECT_EQ(labels.rfind("le=\"", 0), 0u) << line;
+      name = name.substr(0, brace);
+    }
+    EXPECT_TRUE(valid_metric_name(name)) << line;
+    EXPECT_EQ(name.find('.'), std::string::npos) << "unmangled dot: " << line;
+    if (value != "+Inf" && value != "NaN") {
+      std::size_t consumed = 0;
+      EXPECT_NO_THROW({ (void)std::stod(value, &consumed); }) << line;
+      EXPECT_EQ(consumed, value.size()) << line;
+    }
+    ++n_samples;
+  }
+  EXPECT_GT(n_samples, 0u);
+}
+
+TEST_F(Observability, PrometheusRenderPassesFormatCheck) {
+  metrics::registry().counter("test.prom.requests").add(7);
+  metrics::registry().gauge("test.prom.depth").set(-3);
+  metrics::Histogram& h =
+      metrics::registry().histogram("test.prom.latency_ms", std::vector<double>{0.5, 5.0});
+  h.observe(0.2);
+  h.observe(50.0);
+
+  const std::string text = metrics::render_prometheus();
+  check_prometheus_text(text);
+  EXPECT_NE(text.find("# TYPE test_prom_requests counter"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_requests 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_depth -3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_latency_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_latency_ms_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_latency_ms_count 2"), std::string::npos);
+  // The renderer consumes the JSON snapshot, so a remote snapshot renders
+  // identically to the local registry.
+  EXPECT_EQ(text, metrics::render_prometheus(metrics::registry().to_json()));
+}
+
+// ---------------------------------------------------------------------------
+// The core contract: metrics must never perturb results.
+// ---------------------------------------------------------------------------
+
+std::string run_explore_json() {
+  core::SystemParams sys;
+  SweepReport report;
+  json::Value::Array arr;
+  for (const core::DseResult& r : core::explore(sys, core::OptTarget::Efficiency, &report))
+    arr.push_back(core::to_json(r));
+  return json::Value(std::move(arr)).write_canonical();
+}
+
+TEST_F(Observability, ResultsAreByteIdenticalWithMetricsOnAndOff) {
+  const std::string on = run_explore_json();
+  metrics::set_enabled(false);
+  trace::set_enabled(false);
+  const std::string off = run_explore_json();
+  metrics::set_enabled(true);
+  trace::set_enabled(true);
+  const std::string on2 = run_explore_json();
+  EXPECT_EQ(on, off) << "disabling metrics changed a DSE result";
+  EXPECT_EQ(on, on2);
+}
+
+TEST_F(Observability, ServeResponsesAreByteIdenticalWithMetricsOnAndOff) {
+  const std::string req =
+      R"({"id":1,"op":"sc_static","n":3,"m":1,"cfly":"4u","gtot":"15k","fsw":"80meg"})";
+  serve::Service a{serve::ServiceOptions{}};
+  const std::string with_metrics = a.handle_line(req);
+  metrics::set_enabled(false);
+  serve::Service b{serve::ServiceOptions{}};
+  const std::string without_metrics = b.handle_line(req);
+  metrics::set_enabled(true);
+  EXPECT_EQ(with_metrics, without_metrics);
+}
+
+TEST_F(Observability, WorkCountersAreDeterministicAcrossRuns) {
+  // Counters mirror work performed; for a fixed input the whole counters
+  // section must be byte-identical run over run (gauges/histograms are
+  // timing-dependent and carry no such contract).
+  auto counters_json = [&] {
+    metrics::registry().reset();
+    (void)run_explore_json();
+    const json::Value doc = metrics::registry().to_json();
+    return doc.find("counters")->write_canonical();
+  };
+  const std::string first = counters_json();
+  const std::string second = counters_json();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("dse.candidates.evaluated"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Serve cache counter discipline: stats() reads must be lock-free-correct
+// while four threads hammer lookups and inserts. Run under -L tsan.
+// ---------------------------------------------------------------------------
+
+TEST_F(Observability, CacheCountersConsistentUnderConcurrentHammer) {
+  serve::ResultCache cache(64, 4);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kOpsPerThread = 20000;
+  std::atomic<bool> stop{false};
+
+  // A reader polling stats() concurrently with the writers: with atomic
+  // counters this is race-free (tsan-clean) and never observes torn values.
+  // Only per-counter properties hold mid-flight — cross-counter invariants
+  // (evictions <= misses) need a quiesced cache, because stats() reads the
+  // counters one after another while events keep landing in between.
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const serve::CacheStats s = cache.stats();
+      EXPECT_LE(s.entries, s.capacity);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&cache, t] {
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t k = (i * 7 + static_cast<std::uint64_t>(t)) % 256;
+        const std::string key = "key-" + std::to_string(k);
+        if (!cache.lookup(k, key)) cache.insert(k, key, "payload-" + std::to_string(k));
+      }
+    });
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+
+  const serve::CacheStats s = cache.stats();
+  // Every lookup was exactly a hit or a miss; nothing lost to data races.
+  EXPECT_EQ(s.hits + s.misses, kThreads * kOpsPerThread);
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GT(s.misses, 0u);
+  EXPECT_LE(s.entries, s.capacity);
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring.
+// ---------------------------------------------------------------------------
+
+TEST_F(Observability, TraceSpansLandInChromeJson) {
+  { IVORY_TRACE("test.obs.span"); }
+  const std::vector<trace::Event> events = trace::snapshot();
+  ASSERT_FALSE(events.empty());
+  bool found = false;
+  for (const trace::Event& e : events)
+    if (std::string(e.name) == "test.obs.span") found = true;
+  EXPECT_TRUE(found);
+
+  // The dump must be strict JSON in trace_event form.
+  const json::Value doc = json::Value::parse(trace::to_chrome_json());
+  const json::Value* te = doc.find("traceEvents");
+  ASSERT_NE(te, nullptr);
+  ASSERT_TRUE(te->is_array());
+  ASSERT_FALSE(te->as_array().empty());
+  const json::Value& ev = te->as_array().front();
+  EXPECT_EQ(ev.find("ph")->as_string(), "X");
+  EXPECT_NE(ev.find("name"), nullptr);
+  EXPECT_NE(ev.find("ts"), nullptr);
+  EXPECT_NE(ev.find("dur"), nullptr);
+}
+
+TEST_F(Observability, TraceRingDropsOldestBeyondCapacity) {
+  trace::set_capacity(4);
+  for (int i = 0; i < 10; ++i) trace::record("test.obs.ring", i, 1);
+  std::uint64_t dropped = 0;
+  const std::vector<trace::Event> events = trace::snapshot(&dropped);
+  EXPECT_EQ(events.size(), 4u);
+  EXPECT_EQ(dropped, 6u);
+  // Oldest-first snapshot of the most recent spans.
+  EXPECT_EQ(events.front().start_us, 6);
+  EXPECT_EQ(events.back().start_us, 9);
+  trace::set_capacity(65536);
+}
+
+}  // namespace
+}  // namespace ivory

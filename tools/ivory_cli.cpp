@@ -22,9 +22,11 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/statistics.hpp"
 #include "common/table.hpp"
+#include "common/trace.hpp"
 #include "core/ivory.hpp"
 #include "serve/batch.hpp"
 #include "serve/server.hpp"
@@ -80,6 +82,21 @@ tech::CapKind cap_kind_from(const std::string& s) {
   throw InvalidParameter("unknown capacitor kind '" + s + "' (mos|mim|trench)");
 }
 
+/// `--metrics-out FILE`: dump the process metrics registry plus the trace
+/// ring to FILE as one canonical JSON document once the command has run.
+/// `{"metrics": <registry snapshot>, "trace": <chrome trace_event doc>}` —
+/// the "trace" member can be pasted into chrome://tracing as-is.
+void write_metrics_out(const Args& a) {
+  const std::string path = a.str("metrics-out", "");
+  if (path.empty()) return;
+  json::Value::Object o;
+  o.emplace_back("metrics", metrics::registry().to_json());
+  o.emplace_back("trace", json::Value::parse(trace::to_chrome_json()));
+  std::ofstream out(path);
+  if (!out) throw InvalidParameter("cannot open --metrics-out file '" + path + "'");
+  out << json::Value(std::move(o)).write_canonical() << "\n";
+}
+
 core::SystemParams system_from(const Args& a) {
   core::SystemParams sys;
   sys.vin_v = a.num("vin", sys.vin_v);
@@ -115,6 +132,7 @@ int cmd_explore(const Args& a) {
     for (const Diagnostics& d : report.skips)
       std::printf("  - %s\n", d.to_string().c_str());
   }
+  write_metrics_out(a);
   return 0;
 }
 
@@ -366,6 +384,7 @@ int cmd_transient(const Args& a) {
                static_cast<unsigned long long>(res.lu_cache_evictions),
                static_cast<unsigned long long>(res.max_resident_factorizations),
                spec.lu_cache_capacity);
+  write_metrics_out(a);
   return 0;
 }
 
@@ -382,6 +401,36 @@ int cmd_batch(const Args& a) {
   const serve::BatchSummary summary = serve::run_batch(std::cin, std::cout, service, bopt);
   // Counters live on stderr so response bytes on stdout stay replayable.
   std::fprintf(stderr, "%s\n", serve::summary_json(summary).c_str());
+  write_metrics_out(a);
+  return 0;
+}
+
+int cmd_metrics(const Args& a) {
+  // With --socket, snapshot a running server's registry over the serve
+  // protocol; without, render this process's own (freshly started, hence
+  // empty) registry — still useful as a format self-check.
+  const std::string socket = a.str("socket", "");
+  json::Value snapshot;
+  if (!socket.empty()) {
+    serve::BlockingClient client(socket);
+    client.send_line("{\"id\":0,\"op\":\"metrics\"}");
+    const json::Value root = json::Value::parse(client.recv_line());
+    const json::Value* ok = root.find("ok");
+    if (ok == nullptr || !ok->is_bool() || !ok->as_bool())
+      throw NumericalError("metrics: server returned an error envelope");
+    const json::Value* result = root.find("result");
+    require(result != nullptr, "metrics: response carries no result");
+    snapshot = *result;
+  } else {
+    snapshot = metrics::registry().to_json();
+  }
+  const std::string format = a.str("format", "json");
+  if (format == "prometheus")
+    std::printf("%s", metrics::render_prometheus(snapshot).c_str());
+  else if (format == "json")
+    std::printf("%s\n", snapshot.write_canonical().c_str());
+  else
+    throw UsageError("unknown --format '" + format + "' (json|prometheus)");
   return 0;
 }
 
@@ -432,7 +481,11 @@ void usage() {
       "  ivory batch    [--repeat N --threads N --cache N --queue N --wave N]\n"
       "                  NDJSON requests on stdin -> NDJSON responses on stdout\n"
       "  ivory serve    --socket PATH [--threads N --cache N --queue N --wave N]\n"
-      "                  same protocol over a Unix-domain socket; EOF on stdin stops\n\n"
+      "                  same protocol over a Unix-domain socket; EOF on stdin stops\n"
+      "  ivory metrics  [--socket PATH --format json|prometheus]\n"
+      "                  metrics-registry snapshot (of a running server with --socket)\n\n"
+      "batch/transient/explore also take --metrics-out FILE to dump the process\n"
+      "metrics registry + trace ring as canonical JSON after the run.\n\n"
       "Values accept SPICE suffixes: 4u, 15k, 80meg, 110m, ...\n");
 }
 
@@ -454,6 +507,7 @@ int main(int argc, char** argv) {
   else if (cmd == "transient") handler = cmd_transient;
   else if (cmd == "batch") handler = cmd_batch;
   else if (cmd == "serve") handler = cmd_serve;
+  else if (cmd == "metrics") handler = cmd_metrics;
   if (handler == nullptr) {
     std::fprintf(stderr, "ivory: unknown subcommand '%s'\n\n", cmd.c_str());
     usage();

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Metrics-overhead smoke check.
+#
+#   tools/perf_smoke_metrics.sh BENCH_WITH_METRICS BENCH_NOMETRICS [max_pct]
+#
+# Runs the transient hotpath bench in --smoke mode with the observability
+# layer compiled in (A) and compiled out via IVORY_NO_METRICS (B) — both
+# built from the same unified source list so the define is the only delta —
+# interleaved A/B over several rounds. Each side's score is the sum of
+# *per-point* minima across rounds (row-wise min rejects scheduler noise on
+# each measurement independently; a min of round totals would need one
+# entirely quiet round). Fails when the instrumented build exceeds the
+# stripped build by more than max_pct percent (default 2).
+#
+# The instrumentation contract being enforced: counter folds happen once per
+# run at batch granularity, never inside per-step loops, so the overhead must
+# be in the noise even on the tightest kernel in the tree.
+set -eu
+
+bench_on="$1"
+bench_off="$2"
+max_pct="${3:-2}"
+rounds=5
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+# Per-point wall_s list, one per line, in the bench's deterministic
+# scenario x capacity order (so line N is the same measurement every round).
+walls() {
+  grep -o '"wall_s": [0-9.e+-]*' "$1" | awk '{print $2}'
+}
+
+# Sum of row-wise minima across several walls files.
+rowmin_sum() {
+  awk '{ if (!(FNR in m) || $1 + 0 < m[FNR]) m[FNR] = $1 + 0 }
+       END { s = 0; for (k in m) s += m[k]; printf "%.9e", s }' "$@"
+}
+
+i=0
+while [ "$i" -lt "$rounds" ]; do
+  "$bench_on" --smoke "$workdir/on.json" > /dev/null 2>&1
+  "$bench_off" --smoke "$workdir/off.json" > /dev/null 2>&1
+  walls "$workdir/on.json" > "$workdir/on.$i.walls"
+  walls "$workdir/off.json" > "$workdir/off.$i.walls"
+  i=$((i + 1))
+done
+
+best_on="$(rowmin_sum "$workdir"/on.*.walls)"
+best_off="$(rowmin_sum "$workdir"/off.*.walls)"
+
+awk -v on="$best_on" -v off="$best_off" -v max="$max_pct" 'BEGIN {
+  pct = (on / off - 1.0) * 100.0
+  printf "perf_smoke_metrics: metrics=%.3es nometrics=%.3es overhead=%+.2f%% (limit %s%%)\n",
+         on, off, pct, max
+  if (pct > max + 0) {
+    print "perf_smoke_metrics: FAIL — instrumentation overhead above limit" > "/dev/stderr"
+    exit 1
+  }
+  print "perf_smoke_metrics: OK"
+}'
