@@ -9,10 +9,17 @@
 // and writes the measurements to BENCH_transient.json so the perf trajectory
 // is tracked across PRs.
 //
+// Also sweeps N x N on-chip power grids (8x8 up to 100x100, ~10k MNA
+// unknowns) across the dense, banded, and sparse factorization kernels,
+// cross-checks the kernels agree to 1e-9 relative tolerance, and records the
+// dense -> sparse crossover (steps/s ratio at the largest grid dense can
+// still handle) into the same JSON.
+//
 // Usage: bench_transient_hotpath [--smoke] [output.json]
 //   --smoke  tiny sizes, min of two reps (used by the perf-smoke ctest label)
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -123,6 +130,34 @@ struct Point {
   spice::TranResult res;
 };
 
+struct GridPoint {
+  std::string kernel;       ///< Requested kernel name.
+  std::string selected;     ///< Kernel actually used (differs only for auto).
+  double wall_s = 0.0;
+  double steps_per_s = 0.0;
+  std::size_t steps = 0;
+  std::size_t factor_nnz = 0;
+  double max_rel_err = 0.0;  ///< vs the first kernel run at this size.
+};
+
+struct GridRow {
+  int nx = 0;
+  std::size_t n_mna = 0;
+  std::vector<GridPoint> points;
+};
+
+// Largest relative waveform difference between two same-spec runs.
+double max_rel_diff(const spice::TranResult& a, const spice::TranResult& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.voltages.size(); ++i)
+    for (std::size_t k = 0; k < a.voltages[i].size(); ++k) {
+      const double x = a.voltages[i][k], y = b.voltages[i][k];
+      const double denom = std::max({std::fabs(x), std::fabs(y), 1e-12});
+      worst = std::max(worst, std::fabs(x - y) / denom);
+    }
+  return worst;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -231,6 +266,95 @@ int main(int argc, char** argv) {
     all.emplace_back(s, std::move(points));
   }
 
+  // --- Grid-size sweep: dense vs banded vs sparse kernels on N x N on-chip
+  // power grids. Dense is capped at the largest size where an O(n^3) factor
+  // still completes in benchmark time; the sparse kernels run the full
+  // range, demonstrating the asymptotic crossover.
+  const std::vector<int> grid_sizes = smoke ? std::vector<int>{8, 12}
+                                            : std::vector<int>{8, 16, 32, 48, 64, 100};
+  const int dense_cap_nx = smoke ? 12 : 48;
+  std::vector<GridRow> grid_rows;
+  bool grid_agree = true;
+  double crossover_speedup = 0.0;
+  int crossover_nx = 0;
+
+  std::printf("=== Grid-size sweep: dense vs banded vs sparse ===\n\n");
+  for (const int nx : grid_sizes) {
+    pdn::GridParams gp;
+    gp.nx = gp.ny = nx;
+    spice::Circuit ckt;
+    const pdn::GridNodes nodes = pdn::build_grid_netlist(ckt, gp);
+
+    GridRow row;
+    row.nx = nx;
+    row.n_mna = static_cast<std::size_t>(ckt.mna_size());
+
+    std::vector<std::pair<std::string, sparse::Kernel>> kernels = {
+        {"auto", sparse::Kernel::Auto},
+        {"banded", sparse::Kernel::Banded},
+        {"sparse", sparse::Kernel::Sparse}};
+    if (nx <= dense_cap_nx)
+      kernels.insert(kernels.begin() + 1, {"dense", sparse::Kernel::Dense});
+
+    std::vector<spice::TranResult> results;
+    results.reserve(kernels.size());
+    double dense_sps = 0.0, best_sparse_sps = 0.0;
+    for (const auto& [kname, kreq] : kernels) {
+      spice::TranSpec spec;
+      spec.tstop = 10e-9;
+      spec.dt = 0.1e-9;
+      spec.method = spice::Integrator::BackwardEuler;
+      spec.record_nodes = {nodes.center};
+      spec.kernel = kreq;
+
+      GridPoint p;
+      p.kernel = kname;
+      p.wall_s = 1e300;
+      spice::TranResult res;
+      for (int r = 0; r < reps; ++r) {
+        const auto t0 = Clock::now();
+        res = spice::transient(ckt, spec);
+        p.wall_s = std::min(p.wall_s, seconds_since(t0));
+      }
+      p.selected = res.kernel;
+      p.steps = res.steps_taken;
+      p.steps_per_s = static_cast<double>(res.steps_taken) / p.wall_s;
+      p.factor_nnz = res.factor_nnz;
+      if (!results.empty()) {
+        p.max_rel_err = max_rel_diff(results.front(), res);
+        if (p.max_rel_err > 1e-9) {
+          std::printf("ERROR: grid %dx%d kernel %s deviates from %s by %.3e (> 1e-9)\n", nx,
+                      nx, kname.c_str(), results.front().kernel.c_str(), p.max_rel_err);
+          grid_agree = false;
+        }
+      }
+      if (kname == "dense") dense_sps = p.steps_per_s;
+      if (kname == "banded" || kname == "sparse")
+        best_sparse_sps = std::max(best_sparse_sps, p.steps_per_s);
+      results.push_back(std::move(res));
+      row.points.push_back(std::move(p));
+    }
+    if (dense_sps > 0.0 && best_sparse_sps > 0.0) {
+      // Track the crossover at the largest mutually-feasible size.
+      crossover_nx = nx;
+      crossover_speedup = best_sparse_sps / dense_sps;
+    }
+
+    TextTable table({"kernel", "selected", "steps", "wall", "steps/s", "factor nnz",
+                     "max rel err"});
+    for (const GridPoint& p : row.points)
+      table.add_row({p.kernel, p.selected, std::to_string(p.steps),
+                     TextTable::si(p.wall_s, "s"), TextTable::si(p.steps_per_s, ""),
+                     std::to_string(p.factor_nnz), TextTable::num(p.max_rel_err, 3)});
+    std::printf("--- grid %dx%d (%zu MNA unknowns) ---\n%s\n", nx, nx, row.n_mna,
+                table.render().c_str());
+    grid_rows.push_back(std::move(row));
+  }
+  if (crossover_nx > 0)
+    std::printf("grid crossover: at %dx%d the best sparse kernel sustains %.1fx the dense "
+                "steps/s\n",
+                crossover_nx, crossover_nx, crossover_speedup);
+
   std::printf("sc2_fixed: default capacity does %.1fx fewer factorizations than capacity 1 "
               "(wall-clock speedup %.2fx vs capacity 1, %.2fx vs no cache)\n",
               sc_fixed_factor_ratio, sc_fixed_speedup, sc_fixed_speedup_vs_off);
@@ -277,8 +401,28 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f, "    ]}%s\n", si + 1 < all.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"grid_kernels_agree_1e-9\": %s,\n", grid_agree ? "true" : "false");
+  std::fprintf(f, "  \"grid_crossover_nx\": %d,\n", crossover_nx);
+  std::fprintf(f, "  \"grid_crossover_sparse_vs_dense_steps_per_s\": %.3f,\n",
+               crossover_speedup);
+  std::fprintf(f, "  \"grid\": [\n");
+  for (std::size_t gi = 0; gi < grid_rows.size(); ++gi) {
+    const GridRow& row = grid_rows[gi];
+    std::fprintf(f, "    {\"nx\": %d, \"n_mna\": %zu, \"points\": [\n", row.nx, row.n_mna);
+    for (std::size_t i = 0; i < row.points.size(); ++i) {
+      const GridPoint& p = row.points[i];
+      std::fprintf(f,
+                   "      {\"kernel\": \"%s\", \"selected\": \"%s\", \"steps\": %zu, "
+                   "\"wall_s\": %.6e, \"steps_per_s\": %.6e, \"factor_nnz\": %zu, "
+                   "\"max_rel_err\": %.3e}%s\n",
+                   p.kernel.c_str(), p.selected.c_str(), p.steps, p.wall_s, p.steps_per_s,
+                   p.factor_nnz, p.max_rel_err, i + 1 < row.points.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", gi + 1 < grid_rows.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("Wrote %s\n", out_path.c_str());
-  return all_identical ? 0 : 1;
+  return all_identical && grid_agree ? 0 : 1;
 }

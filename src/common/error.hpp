@@ -36,6 +36,22 @@ class StructuralError : public std::runtime_error {
   explicit StructuralError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// LU factorization hit a zero (or non-finite) pivot. Carries the matrix
+/// dimension and the offending pivot column (in the caller's original index
+/// space) so the analysis layer can name the MNA unknown behind it.
+class SingularMatrixError : public NumericalError {
+ public:
+  SingularMatrixError(const std::string& what, std::size_t dim, std::size_t pivot_col)
+      : NumericalError(what), dim_(dim), pivot_col_(pivot_col) {}
+
+  std::size_t dim() const { return dim_; }
+  std::size_t pivot_col() const { return pivot_col_; }
+
+ private:
+  std::size_t dim_;
+  std::size_t pivot_col_;
+};
+
 /// A NaN or Inf crossed a guarded model boundary. Distinguished from the
 /// general NumericalError so sweep reports can separate "solver gave up"
 /// from "a model silently produced garbage".

@@ -36,6 +36,11 @@ class Matrix {
   T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
   const T& operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
 
+  /// Accumulating store: the MNA stamp helpers call this so the same
+  /// templated stamping code drives both the dense matrix and the sparse
+  /// triplet accumulator.
+  void add(std::size_t r, std::size_t c, T v) { data_[r * cols_ + c] += v; }
+
   /// Matrix-vector product.
   std::vector<T> mul(const std::vector<T>& x) const {
     require(x.size() == cols_, "Matrix::mul: dimension mismatch");
@@ -106,7 +111,10 @@ class LuFactorization {
       // Negated comparison so a NaN pivot column (non-finite input matrix)
       // is reported here instead of propagating NaN through the solve.
       if (!(best >= 1e-300))
-        throw NumericalError("LuFactorization: singular or non-finite matrix");
+        throw SingularMatrixError(
+            "LuFactorization: singular or non-finite matrix (n=" + std::to_string(n) +
+                ", pivot column " + std::to_string(k) + ")",
+            n, k);
       if (p != k) {
         for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(p, c));
         std::swap(piv_[k], piv_[p]);

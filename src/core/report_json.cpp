@@ -215,6 +215,9 @@ Value to_json(const spice::TranResult& r, const std::vector<std::string>& node_n
   o.emplace_back("lu_cache_evictions", static_cast<std::uint64_t>(r.lu_cache_evictions));
   o.emplace_back("max_resident_factorizations",
                  static_cast<std::uint64_t>(r.max_resident_factorizations));
+  o.emplace_back("kernel", r.kernel);
+  o.emplace_back("symbolic_analyses", static_cast<std::uint64_t>(r.symbolic_analyses));
+  o.emplace_back("factor_nnz", static_cast<std::uint64_t>(r.factor_nnz));
   o.emplace_back("n_points", static_cast<std::uint64_t>(r.time.size()));
 
   Value::Array nodes;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
@@ -190,6 +191,77 @@ std::vector<double> simulate_die_voltage(const PdnParams& p, double v_supply,
   spec.record_nodes = {nodes.die};
   const spice::TranResult res = spice::transient(c, spec);
   return check_finite(res.at(nodes.die), "simulate_die_voltage: die voltage trace");
+}
+
+GridNodes build_grid_netlist(spice::Circuit& c, const GridParams& p) {
+  require(p.nx >= 2 && p.ny >= 2, "build_grid_netlist: grid must be at least 2x2");
+  require(p.bump_pitch >= 1, "build_grid_netlist: bump_pitch must be >= 1");
+  require(p.seg_r_ohm > 0.0, "build_grid_netlist: seg_r_ohm must be positive");
+  require(p.bump_r_ohm > 0.0, "build_grid_netlist: bump_r_ohm must be positive");
+  require(p.tile_cap_f > 0.0, "build_grid_netlist: tile_cap_f must be positive");
+  require(p.vdd_v > 0.0, "build_grid_netlist: vdd_v must be positive");
+
+  const spice::NodeId gnd = spice::kGround;
+  GridNodes out;
+  out.nx = p.nx;
+  out.ny = p.ny;
+  out.tiles.reserve(static_cast<std::size_t>(p.nx) * static_cast<std::size_t>(p.ny));
+  for (int y = 0; y < p.ny; ++y)
+    for (int x = 0; x < p.nx; ++x)
+      out.tiles.push_back(c.node("g" + std::to_string(x) + "_" + std::to_string(y)));
+  out.center = out.tile(p.nx / 2, p.ny / 2);
+
+  // Mesh segments.
+  for (int y = 0; y < p.ny; ++y)
+    for (int x = 0; x < p.nx; ++x) {
+      const std::string sfx = std::to_string(x) + "_" + std::to_string(y);
+      if (x + 1 < p.nx)
+        c.add_resistor("rh" + sfx, out.tile(x, y), out.tile(x + 1, y), p.seg_r_ohm);
+      if (y + 1 < p.ny)
+        c.add_resistor("rv" + sfx, out.tile(x, y), out.tile(x, y + 1), p.seg_r_ohm);
+    }
+
+  // Per-tile decap and load. The central quarter block additionally draws a
+  // step load — the droop stimulus.
+  const int x0 = p.nx / 4, x1 = p.nx - p.nx / 4;
+  const int y0 = p.ny / 4, y1 = p.ny - p.ny / 4;
+  for (int y = 0; y < p.ny; ++y)
+    for (int x = 0; x < p.nx; ++x) {
+      const std::string sfx = std::to_string(x) + "_" + std::to_string(y);
+      const spice::NodeId n = out.tile(x, y);
+      c.add_capacitor("cd" + sfx, n, gnd, p.tile_cap_f);
+      if (p.tile_load_a > 0.0)
+        c.add_isource("il" + sfx, n, gnd, spice::Waveform::dc(p.tile_load_a));
+      if (p.step_load_a > 0.0 && x >= x0 && x < x1 && y >= y0 && y < y1)
+        c.add_isource("is" + sfx, n, gnd,
+                      spice::Waveform::pulse(0.0, p.step_load_a, p.step_t0_s, p.step_rise_s,
+                                             p.step_rise_s, 1.0, 2.0));
+    }
+
+  // C4 bumps: per-bump ideal supply behind the bump resistance (and optional
+  // inductance). No shared supply hub — each attachment is local, keeping the
+  // stamped pattern near-banded under RCM.
+  for (int y = 0; y < p.ny; y += p.bump_pitch)
+    for (int x = 0; x < p.nx; x += p.bump_pitch) {
+      const std::string sfx = std::to_string(x) + "_" + std::to_string(y);
+      const spice::NodeId b = c.node("bump" + sfx);
+      out.bumps.push_back(b);
+      c.add_vsource("vb" + sfx, b, gnd, spice::Waveform::dc(p.vdd_v));
+      if (p.bump_l_h > 0.0) {
+        const spice::NodeId bl = c.node("bumpl" + sfx);
+        c.add_inductor("lb" + sfx, b, bl, p.bump_l_h);
+        c.add_resistor("rb" + sfx, bl, out.tile(x, y), p.bump_r_ohm);
+      } else {
+        c.add_resistor("rb" + sfx, b, out.tile(x, y), p.bump_r_ohm);
+      }
+    }
+  return out;
+}
+
+spice::Circuit make_grid_circuit(const GridParams& p) {
+  spice::Circuit c;
+  build_grid_netlist(c, p);
+  return c;
 }
 
 double VrmModel::efficiency(double i_a) const {

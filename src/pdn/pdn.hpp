@@ -11,6 +11,7 @@
 #pragma once
 
 #include <complex>
+#include <cstddef>
 #include <vector>
 
 #include "spice/circuit.hpp"
@@ -67,6 +68,49 @@ struct PdnNodes {
   spice::NodeId die;
 };
 PdnNodes build_pdn_netlist(spice::Circuit& c, const PdnParams& p, double v_supply);
+
+/// Parameterized N x M on-chip power-grid netlist. Tiles form a regular
+/// resistive mesh (`seg_r_ohm` per segment) with a decoupling capacitor and a
+/// DC load current source per tile. C4/bump boundary conditions: every
+/// `bump_pitch`-th tile in each direction carries a bump — an ideal supply
+/// behind the bump resistance (and optional bump inductance). A central
+/// block of tiles adds a step load (`step_load_a`, starting at `step_t0_s`)
+/// on top of the quiescent draw, the stimulus for droop studies. All bump
+/// attachments are per-bump (no shared supply hub node), so the stamped MNA
+/// pattern stays local and the grid remains near-banded under RCM — the
+/// structure the banded kernel is built for.
+struct GridParams {
+  int nx = 8;                     ///< Tiles in x.
+  int ny = 8;                     ///< Tiles in y.
+  double vdd_v = 1.0;
+  double seg_r_ohm = 0.05;        ///< Mesh segment resistance.
+  double tile_cap_f = 50e-12;     ///< Per-tile decap (to ground).
+  double tile_load_a = 0.01;      ///< Quiescent per-tile load.
+  double step_load_a = 0.10;      ///< Extra step load per center-block tile.
+  double step_t0_s = 2e-9;        ///< Step-load start time.
+  double step_rise_s = 2e-10;     ///< Step-load rise time.
+  int bump_pitch = 4;             ///< Bump every `bump_pitch` tiles each way.
+  double bump_r_ohm = 0.02;
+  double bump_l_h = 0.0;          ///< Optional bump inductance (0 = off).
+};
+
+struct GridNodes {
+  int nx = 0, ny = 0;
+  std::vector<spice::NodeId> tiles;  ///< tiles[y * nx + x].
+  std::vector<spice::NodeId> bumps;  ///< Bump-side supply nodes.
+  spice::NodeId center = 0;          ///< Center tile (droop observation point).
+
+  spice::NodeId tile(int x, int y) const {
+    return tiles[static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) +
+                 static_cast<std::size_t>(x)];
+  }
+};
+
+/// Adds the grid to `c`; returns the tile/bump node map.
+GridNodes build_grid_netlist(spice::Circuit& c, const GridParams& p);
+
+/// Convenience: a Circuit holding just the grid (tests and benches).
+spice::Circuit make_grid_circuit(const GridParams& p);
 
 /// Fast dedicated transient: die voltage response to a load-current trace
 /// i_load[k] sampled at dt, supply held at v_supply. Uses trapezoidal

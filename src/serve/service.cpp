@@ -265,6 +265,10 @@ std::string Service::evaluate(const Request& req) {
         spec.dv_max_v = p.dv_max_v;
         spec.dt_max = p.dt_max_s;
         spec.lu_cache_capacity = p.lu_cache_capacity;
+        spec.kernel = p.kernel == "dense"    ? sparse::Kernel::Dense
+                      : p.kernel == "banded" ? sparse::Kernel::Banded
+                      : p.kernel == "sparse" ? sparse::Kernel::Sparse
+                                             : sparse::Kernel::Auto;
         for (const std::string& name : p.record_nodes)
           spec.record_nodes.push_back(ckt.find_node(name));
         const spice::TranResult res = spice::transient(ckt, spec);

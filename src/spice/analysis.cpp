@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/matrix.hpp"
 #include "common/metrics.hpp"
+#include "common/sparse.hpp"
 #include "common/trace.hpp"
 
 namespace ivory::spice {
@@ -19,14 +20,20 @@ namespace {
 // Row index of a non-ground node in the MNA system.
 inline int nrow(NodeId n) { return n - 1; }
 
+// The stamp helpers are generic over the accumulation target `M` — anything
+// with add(row, col, value). Dense Matrix<T> and the sparse::SparseStamp
+// triplet accumulator both qualify, so DC/transient assembly writes straight
+// into sparse storage with no dense intermediate while AC keeps its dense
+// complex matrix.
+
 // Stamps a conductance between two nodes (either may be ground).
-template <typename T>
-void stamp_conductance(Matrix<T>& g, NodeId a, NodeId b, T gval) {
-  if (a != kGround) g(nrow(a), nrow(a)) += gval;
-  if (b != kGround) g(nrow(b), nrow(b)) += gval;
+template <typename M, typename T>
+void stamp_conductance(M& g, NodeId a, NodeId b, T gval) {
+  if (a != kGround) g.add(static_cast<std::size_t>(nrow(a)), static_cast<std::size_t>(nrow(a)), gval);
+  if (b != kGround) g.add(static_cast<std::size_t>(nrow(b)), static_cast<std::size_t>(nrow(b)), gval);
   if (a != kGround && b != kGround) {
-    g(nrow(a), nrow(b)) -= gval;
-    g(nrow(b), nrow(a)) -= gval;
+    g.add(static_cast<std::size_t>(nrow(a)), static_cast<std::size_t>(nrow(b)), -gval);
+    g.add(static_cast<std::size_t>(nrow(b)), static_cast<std::size_t>(nrow(a)), -gval);
   }
 }
 
@@ -40,16 +47,40 @@ void stamp_current(std::vector<T>& rhs, NodeId a, NodeId b, T i) {
 // Stamps a branch-current unknown at column/row m for a branch flowing from
 // `a` to `b` (KCL coupling only; the branch equation row is the caller's
 // responsibility).
-template <typename T>
-void stamp_branch_kcl(Matrix<T>& g, NodeId a, NodeId b, int m) {
+template <typename M, typename T>
+void stamp_branch_kcl(M& g, NodeId a, NodeId b, int m, T one) {
   if (a != kGround) {
-    g(nrow(a), m) += T{1};
-    g(m, nrow(a)) += T{1};
+    g.add(static_cast<std::size_t>(nrow(a)), static_cast<std::size_t>(m), one);
+    g.add(static_cast<std::size_t>(m), static_cast<std::size_t>(nrow(a)), one);
   }
   if (b != kGround) {
-    g(nrow(b), m) -= T{1};
-    g(m, nrow(b)) -= T{1};
+    g.add(static_cast<std::size_t>(nrow(b)), static_cast<std::size_t>(m), -one);
+    g.add(static_cast<std::size_t>(m), static_cast<std::size_t>(nrow(b)), -one);
   }
+}
+
+// Names the MNA unknown behind column `col` of the standard (non-UIC) system
+// layout: node voltages, then vsource branch currents, then inductor branch
+// currents. Used to enrich singular-matrix diagnostics.
+std::string mna_unknown(const Circuit& c, std::size_t col) {
+  const std::size_t nv = static_cast<std::size_t>(c.node_count() - 1);
+  if (col < nv) return "node '" + c.node_name(static_cast<NodeId>(col + 1)) + "'";
+  std::size_t k = col - nv;
+  if (k < c.vsources().size())
+    return "vsource '" + c.vsources()[k].name + "' branch current";
+  k -= c.vsources().size();
+  if (k < c.inductors().size())
+    return "inductor '" + c.inductors()[k].name + "' branch current";
+  return "unknown column " + std::to_string(col);
+}
+
+// Rethrows a singular-matrix failure with the offending MNA unknown named
+// (and optional extra context), preserving the structured dim/pivot fields.
+[[noreturn]] void rethrow_singular(const Circuit& c, const SingularMatrixError& e,
+                                   const std::string& context) {
+  throw SingularMatrixError(
+      std::string(e.what()) + "; offending unknown: " + mna_unknown(c, e.pivot_col()) + context,
+      e.dim(), e.pivot_col());
 }
 
 double switch_resistance(const Switch& s, bool closed) { return closed ? s.ron : s.roff; }
@@ -88,7 +119,7 @@ bool switch_closed(const Switch& s, double t, bool vgate) {
 // DC operating point
 // ---------------------------------------------------------------------------
 
-DcResult dc_operating_point(const Circuit& c) {
+DcResult dc_operating_point(const Circuit& c, sparse::Kernel kernel) {
   const int nv = c.node_count() - 1;
   const int size = c.mna_size();
   require(size > 0, "dc_operating_point: empty circuit");
@@ -98,32 +129,44 @@ DcResult dc_operating_point(const Circuit& c) {
   for (std::size_t k = 0; k < c.switches().size(); ++k)
     sw_closed[k] = switch_closed(c.switches()[k], 0.0, vgate[k]);
 
+  // Sparse stamp + structural analysis shared across the fixed-point
+  // iterations: switch-state changes move values, never positions.
+  sparse::SparseStamp stamp(static_cast<std::size_t>(size));
+  sparse::CscMatrix csc;
+  std::shared_ptr<const sparse::Symbolic> sym;
+
   std::vector<double> x;
   // Fixed-point iteration over voltage-controlled switch states.
   for (int iter = 0;; ++iter) {
-    Matrix<double> g(static_cast<std::size_t>(size), static_cast<std::size_t>(size));
+    stamp.reset();
     std::vector<double> rhs(static_cast<std::size_t>(size), 0.0);
 
-    for (const Resistor& r : c.resistors()) stamp_conductance(g, r.a, r.b, 1.0 / r.ohms);
+    for (const Resistor& r : c.resistors()) stamp_conductance(stamp, r.a, r.b, 1.0 / r.ohms);
     for (std::size_t k = 0; k < c.switches().size(); ++k) {
       const Switch& s = c.switches()[k];
-      stamp_conductance(g, s.a, s.b, 1.0 / switch_resistance(s, sw_closed[k]));
+      stamp_conductance(stamp, s.a, s.b, 1.0 / switch_resistance(s, sw_closed[k]));
     }
     // Capacitors: open in DC.
     for (std::size_t k = 0; k < c.vsources().size(); ++k) {
       const VSource& v = c.vsources()[k];
       const int m = c.vsource_current_index(static_cast<int>(k));
-      stamp_branch_kcl(g, v.pos, v.neg, m);
+      stamp_branch_kcl(stamp, v.pos, v.neg, m, 1.0);
       rhs[static_cast<std::size_t>(m)] = v.wave(0.0);
     }
     for (std::size_t k = 0; k < c.inductors().size(); ++k) {
       const Inductor& l = c.inductors()[k];
       const int m = c.inductor_current_index(static_cast<int>(k));
-      stamp_branch_kcl(g, l.a, l.b, m);  // Branch row: v_a - v_b = 0 (short).
+      stamp_branch_kcl(stamp, l.a, l.b, m, 1.0);  // Branch row: v_a - v_b = 0 (short).
     }
     for (const ISource& i : c.isources()) stamp_current(rhs, i.neg, i.pos, i.wave(0.0));
 
-    x = solve_linear(std::move(g), rhs);
+    sparse::compress(stamp, csc);
+    if (!sym) sym = sparse::analyze(csc, kernel);
+    try {
+      x = sparse::MnaFactorization(csc, sym).solve(rhs);
+    } catch (const SingularMatrixError& e) {
+      rethrow_singular(c, e, " (dc_operating_point)");
+    }
 
     std::vector<double> node_v(static_cast<std::size_t>(c.node_count()), 0.0);
     for (int n = 1; n < c.node_count(); ++n)
@@ -224,22 +267,22 @@ TranState initial_state(const Circuit& c, bool use_ic) {
   const int extra = static_cast<int>(c.capacitors().size());
   const int size = nv + static_cast<int>(c.vsources().size()) + extra;
   try {
-    Matrix<double> g(static_cast<std::size_t>(size), static_cast<std::size_t>(size));
+    sparse::SparseStamp stamp(static_cast<std::size_t>(size));
     std::vector<double> rhs(static_cast<std::size_t>(size), 0.0);
-    for (const Resistor& r : c.resistors()) stamp_conductance(g, r.a, r.b, 1.0 / r.ohms);
+    for (const Resistor& r : c.resistors()) stamp_conductance(stamp, r.a, r.b, 1.0 / r.ohms);
     for (std::size_t k = 0; k < c.switches().size(); ++k) {
       const Switch& s = c.switches()[k];
-      stamp_conductance(g, s.a, s.b, 1.0 / switch_resistance(s, st.sw_closed[k]));
+      stamp_conductance(stamp, s.a, s.b, 1.0 / switch_resistance(s, st.sw_closed[k]));
     }
     for (std::size_t k = 0; k < c.vsources().size(); ++k) {
       const VSource& v = c.vsources()[k];
       const int m = nv + static_cast<int>(k);
-      stamp_branch_kcl(g, v.pos, v.neg, m);
+      stamp_branch_kcl(stamp, v.pos, v.neg, m, 1.0);
       rhs[static_cast<std::size_t>(m)] = v.wave(0.0);
     }
     int m = nv + static_cast<int>(c.vsources().size());
     for (const Capacitor& cap : c.capacitors()) {
-      stamp_branch_kcl(g, cap.a, cap.b, m);
+      stamp_branch_kcl(stamp, cap.a, cap.b, m, 1.0);
       rhs[static_cast<std::size_t>(m)] = cap.use_ic ? cap.v0 : 0.0;
       ++m;
     }
@@ -249,7 +292,10 @@ TranState initial_state(const Circuit& c, bool use_ic) {
     }
     for (const ISource& i : c.isources()) stamp_current(rhs, i.neg, i.pos, i.wave(0.0));
 
-    const std::vector<double> x = solve_linear(std::move(g), rhs);
+    sparse::CscMatrix csc;
+    sparse::compress(stamp, csc);
+    const std::vector<double> x =
+        sparse::MnaFactorization(csc, sparse::analyze(csc, sparse::Kernel::Auto)).solve(rhs);
     for (int n = 1; n < c.node_count(); ++n)
       st.node_v[static_cast<std::size_t>(n)] = x[static_cast<std::size_t>(nrow(n))];
   } catch (const NumericalError&) {
@@ -335,7 +381,7 @@ class FactorCache {
   /// configuration, and the most recently returned entry already carries the
   /// maximum stamp — so a repeat costs one key compare, no scan, no stamp
   /// bump.
-  LuFactorization<double>* find(const FactorKey& key) {
+  sparse::MnaFactorization* find(const FactorKey& key) {
     if (mru_ < entries_.size() && entries_[mru_].key == key) return &entries_[mru_].lu;
     for (std::size_t i = 0; i < entries_.size(); ++i)
       if (entries_[i].key == key) {
@@ -348,8 +394,8 @@ class FactorCache {
 
   /// Inserts a freshly built factorization, displacing the least recently
   /// used entry when full. Returns the resident copy.
-  LuFactorization<double>* insert(const FactorKey& key, LuFactorization<double> lu,
-                                  std::size_t* evictions) {
+  sparse::MnaFactorization* insert(const FactorKey& key, sparse::MnaFactorization lu,
+                                   std::size_t* evictions) {
     if (entries_.size() < capacity_) {
       entries_.push_back(Entry{key, std::move(lu), ++clock_});
       mru_ = entries_.size() - 1;
@@ -369,7 +415,7 @@ class FactorCache {
  private:
   struct Entry {
     FactorKey key;
-    LuFactorization<double> lu;
+    sparse::MnaFactorization lu;
     std::uint64_t stamp;
   };
   std::size_t capacity_;
@@ -407,8 +453,17 @@ TranResult transient(const Circuit& c, const TranSpec& spec) {
   require(spec.lu_cache_capacity >= 0, "transient: lu_cache_capacity must be >= 0");
   const std::size_t cache_capacity = static_cast<std::size_t>(spec.lu_cache_capacity);
   FactorCache cache(cache_capacity);
-  std::optional<LuFactorization<double>> uncached;  // Capacity-0 (disabled) path.
+  std::optional<sparse::MnaFactorization> uncached;  // Capacity-0 (disabled) path.
   FactorKey key;  // Scratch, reused every step.
+
+  // Sparse stamping state, hoisted: the triplet accumulator and CSC buffer
+  // reuse their storage across refactorizations, and the structural analysis
+  // (kernel choice + orderings) is computed once per sparsity pattern and
+  // shared across every same-pattern numeric factorization — switch-state
+  // and step-size changes move matrix values, never positions.
+  sparse::SparseStamp stamp(static_cast<std::size_t>(size));
+  sparse::CscMatrix csc;
+  std::shared_ptr<const sparse::Symbolic> sym;
 
   // Hoisted per-step buffers: the steady-state loop below performs no heap
   // allocation (vector assignments reuse capacity after the first step).
@@ -477,45 +532,56 @@ TranResult transient(const Circuit& c, const TranSpec& spec) {
     // switch states), so the keyed cache factors once per distinct
     // configuration and replays it on every later step with the same key.
     pack_factor_key(key, h, use_be, st.sw_closed);
-    LuFactorization<double>* lu =
+    sparse::MnaFactorization* lu =
         cache_capacity > 0 ? cache.find(key) : nullptr;
     if (lu != nullptr) {
       ++res.lu_cache_hits;
     } else {
-      Matrix<double> g(static_cast<std::size_t>(size), static_cast<std::size_t>(size));
-      for (const Resistor& r : c.resistors()) stamp_conductance(g, r.a, r.b, 1.0 / r.ohms);
+      stamp.reset();
+      for (const Resistor& r : c.resistors()) stamp_conductance(stamp, r.a, r.b, 1.0 / r.ohms);
       for (std::size_t k = 0; k < c.switches().size(); ++k) {
         const Switch& s = c.switches()[k];
-        stamp_conductance(g, s.a, s.b, 1.0 / switch_resistance(s, st.sw_closed[k]));
+        stamp_conductance(stamp, s.a, s.b, 1.0 / switch_resistance(s, st.sw_closed[k]));
       }
       for (std::size_t k = 0; k < c.capacitors().size(); ++k) {
         const Capacitor& cap = c.capacitors()[k];
         const double gc = (use_be ? 1.0 : 2.0) * cap.farads / h;
-        stamp_conductance(g, cap.a, cap.b, gc);
+        stamp_conductance(stamp, cap.a, cap.b, gc);
       }
       for (std::size_t k = 0; k < c.vsources().size(); ++k) {
         const VSource& v = c.vsources()[k];
-        stamp_branch_kcl(g, v.pos, v.neg, c.vsource_current_index(static_cast<int>(k)));
+        stamp_branch_kcl(stamp, v.pos, v.neg, c.vsource_current_index(static_cast<int>(k)), 1.0);
       }
       for (std::size_t k = 0; k < c.inductors().size(); ++k) {
         const Inductor& l = c.inductors()[k];
         const int m = c.inductor_current_index(static_cast<int>(k));
-        stamp_branch_kcl(g, l.a, l.b, m);
-        g(m, m) -= (use_be ? 1.0 : 2.0) * l.henries / h;
+        stamp_branch_kcl(stamp, l.a, l.b, m, 1.0);
+        stamp.add(static_cast<std::size_t>(m), static_cast<std::size_t>(m),
+                  -(use_be ? 1.0 : 2.0) * l.henries / h);
+      }
+      sparse::compress(stamp, csc);
+      if (!sym || csc.pattern_hash() != sym->pattern_hash) {
+        sym = sparse::analyze(csc, spec.kernel);
+        ++res.symbolic_analyses;
       }
       try {
         if (cache_capacity > 0) {
-          lu = cache.insert(key, LuFactorization<double>(std::move(g)),
+          lu = cache.insert(key, sparse::MnaFactorization(csc, sym),
                             &res.lu_cache_evictions);
         } else {
-          uncached.emplace(std::move(g));
+          uncached.emplace(csc, sym);
           lu = &*uncached;
         }
+      } catch (const SingularMatrixError& e) {
+        rethrow_singular(c, e, " (transient at t=" + std::to_string(t) +
+                                   ", h=" + std::to_string(h) + ")");
       } catch (const NumericalError& e) {
         throw NumericalError(std::string(e.what()) + " (transient at t=" + std::to_string(t) +
                              ", h=" + std::to_string(h) + ")");
       }
       ++res.lu_factorizations;
+      res.factor_nnz = lu->factor_nnz();
+      if (res.kernel.empty()) res.kernel = sparse::kernel_name(lu->kernel());
     }
     res.max_resident_factorizations =
         std::max(res.max_resident_factorizations,
@@ -605,6 +671,33 @@ TranResult transient(const Circuit& c, const TranSpec& spec) {
     metrics::registry()
         .gauge("spice.tran.max_resident_factorizations")
         .set_max(static_cast<std::int64_t>(res.max_resident_factorizations));
+    // Sparse-kernel observability: per-kernel factorization/solve counts, the
+    // symbolic-analysis count (reuse means this stays at runs, not
+    // factorizations), and the fill-in high-water mark.
+    // The kernel names are a closed set, so the registry lookups are
+    // function-local statics (registered once, then lock-free adds): short
+    // grid runs must not pay string building + a mutexed lookup per run.
+    if (!res.kernel.empty()) {
+      struct LuCounters {
+        metrics::Counter& factorizations;
+        metrics::Counter& solves;
+      };
+      static LuCounters dense{metrics::registry().counter("ivory.lu.dense.factorizations"),
+                              metrics::registry().counter("ivory.lu.dense.solves")};
+      static LuCounters banded{metrics::registry().counter("ivory.lu.banded.factorizations"),
+                               metrics::registry().counter("ivory.lu.banded.solves")};
+      static LuCounters sparse_lu{metrics::registry().counter("ivory.lu.sparse.factorizations"),
+                                  metrics::registry().counter("ivory.lu.sparse.solves")};
+      static metrics::Counter& symbolic =
+          metrics::registry().counter("ivory.lu.symbolic_analyses");
+      static metrics::Gauge& fill = metrics::registry().gauge("ivory.lu.fill_nnz");
+      LuCounters& by_kernel =
+          res.kernel == "banded" ? banded : res.kernel == "sparse" ? sparse_lu : dense;
+      by_kernel.factorizations.add(res.lu_factorizations);
+      by_kernel.solves.add(res.steps_taken);
+      symbolic.add(res.symbolic_analyses);
+      fill.set_max(static_cast<std::int64_t>(res.factor_nnz));
+    }
   }
   return res;
 }
@@ -661,13 +754,13 @@ AcResult ac_analysis(const Circuit& c, const std::vector<double>& freqs_hz,
     for (std::size_t k = 0; k < c.vsources().size(); ++k) {
       const VSource& v = c.vsources()[k];
       const int m = c.vsource_current_index(static_cast<int>(k));
-      stamp_branch_kcl(g, v.pos, v.neg, m);
+      stamp_branch_kcl(g, v.pos, v.neg, m, C{1.0});
       rhs[static_cast<std::size_t>(m)] = C{v.wave.ac_magnitude()};
     }
     for (std::size_t k = 0; k < c.inductors().size(); ++k) {
       const Inductor& l = c.inductors()[k];
       const int m = c.inductor_current_index(static_cast<int>(k));
-      stamp_branch_kcl(g, l.a, l.b, m);
+      stamp_branch_kcl(g, l.a, l.b, m, C{1.0});
       g(m, m) -= jw * l.henries;
     }
     for (const ISource& i : c.isources())

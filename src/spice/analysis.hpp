@@ -13,8 +13,10 @@
 
 #include <complex>
 #include <cstddef>
+#include <string>
 #include <vector>
 
+#include "common/sparse.hpp"
 #include "spice/circuit.hpp"
 
 namespace ivory::spice {
@@ -29,8 +31,10 @@ struct DcResult {
 
 /// Computes the DC operating point: capacitors open, inductors short,
 /// time-controlled switches at their t = 0 state, voltage-controlled switches
-/// resolved by fixed-point iteration.
-DcResult dc_operating_point(const Circuit& circuit);
+/// resolved by fixed-point iteration. `kernel` selects the factorization
+/// kernel (Auto = density/bandwidth heuristic).
+DcResult dc_operating_point(const Circuit& circuit,
+                            sparse::Kernel kernel = sparse::Kernel::Auto);
 
 enum class Integrator { BackwardEuler, Trapezoidal };
 
@@ -67,6 +71,13 @@ struct TranSpec {
   /// step). The output waveform is byte-identical at every capacity: a cache
   /// hit replays the exact factorization the same matrix would produce.
   int lu_cache_capacity = 8;
+
+  /// Factorization kernel. Auto picks from the stamped structure
+  /// (density/bandwidth heuristic, see sparse::analyze): small or dense
+  /// systems keep the legacy dense LU byte for byte, PDN ladders and regular
+  /// grids go banded, irregular large systems go general sparse. Any other
+  /// value forces that kernel.
+  sparse::Kernel kernel = sparse::Kernel::Auto;
 };
 
 struct TranResult {
@@ -84,6 +95,16 @@ struct TranResult {
   std::size_t lu_cache_hits = 0;
   std::size_t lu_cache_evictions = 0;
   std::size_t max_resident_factorizations = 0;
+
+  // Sparse-kernel observability. `kernel` is the selected factorization
+  // kernel ("dense" / "banded" / "sparse"); `symbolic_analyses` counts
+  // structural analyses performed (1 per run when the pattern is stable —
+  // switch-state changes refactorize numerically without re-running
+  // symbolic); `factor_nnz` is the stored factor's nonzero footprint
+  // (n^2 dense, band storage banded, nnz(L)+nnz(U)+n sparse).
+  std::string kernel;
+  std::size_t symbolic_analyses = 0;
+  std::size_t factor_nnz = 0;
 
   /// Trace of a recorded node; throws InvalidParameter if it was not recorded.
   const std::vector<double>& at(NodeId n) const;

@@ -345,6 +345,12 @@ int cmd_transient(const Args& a) {
   spec.dv_max_v = a.num("dv-max", spec.dv_max_v);
   spec.dt_max = a.num("dt-max", spec.dt_max);
   spec.lu_cache_capacity = a.integer("lu-cache", spec.lu_cache_capacity);
+  const std::string kernel = a.str("kernel", "auto");
+  if (kernel == "auto") spec.kernel = sparse::Kernel::Auto;
+  else if (kernel == "dense") spec.kernel = sparse::Kernel::Dense;
+  else if (kernel == "banded") spec.kernel = sparse::Kernel::Banded;
+  else if (kernel == "sparse") spec.kernel = sparse::Kernel::Sparse;
+  else throw UsageError("unknown --kernel '" + kernel + "' (auto|dense|banded|sparse)");
   const std::string record = a.str("record", "");
   for (std::size_t pos = 0; pos < record.size();) {
     const std::size_t comma = std::min(record.find(',', pos), record.size());
@@ -377,13 +383,16 @@ int cmd_transient(const Args& a) {
                             : 0.0;
   std::fprintf(stderr,
                "ivory transient: %llu steps, %llu LU factorizations (%.2f per 1k steps), "
-               "%llu cache hits, %llu evictions, max resident %llu (capacity %d)\n",
+               "%llu cache hits, %llu evictions, max resident %llu (capacity %d), "
+               "kernel %s, %llu symbolic analyses, factor nnz %llu\n",
                static_cast<unsigned long long>(res.steps_taken),
                static_cast<unsigned long long>(res.lu_factorizations), per_1k,
                static_cast<unsigned long long>(res.lu_cache_hits),
                static_cast<unsigned long long>(res.lu_cache_evictions),
                static_cast<unsigned long long>(res.max_resident_factorizations),
-               spec.lu_cache_capacity);
+               spec.lu_cache_capacity, res.kernel.c_str(),
+               static_cast<unsigned long long>(res.symbolic_analyses),
+               static_cast<unsigned long long>(res.factor_nnz));
   write_metrics_out(a);
   return 0;
 }
@@ -477,7 +486,8 @@ void usage() {
       "  ivory pds      [--guard-off V --guard-ivr V --dist N + explore flags]\n"
       "  ivory transient --netlist FILE --tstop s --dt s [--method trap|be --uic 1\n"
       "                  --record n1,n2 --record-every N --adaptive 1 --dv-max V\n"
-      "                  --dt-max s --lu-cache N]  (cost counters on stderr)\n"
+      "                  --dt-max s --lu-cache N --kernel auto|dense|banded|sparse]\n"
+      "                  (cost counters on stderr)\n"
       "  ivory batch    [--repeat N --threads N --cache N --queue N --wave N]\n"
       "                  NDJSON requests on stdin -> NDJSON responses on stdout\n"
       "  ivory serve    --socket PATH [--threads N --cache N --queue N --wave N]\n"
