@@ -9,17 +9,33 @@
 // bytes — and writes requests/sec plus hit rates to BENCH_serve.json so the
 // service's perf trajectory is tracked across PRs.
 //
-// Usage: bench_serve_throughput [output.json]   (default: BENCH_serve.json)
+// Two durability phases ride on the same stream:
+//   - warm restart: a service with a durable store evaluates the stream
+//     cold, is destroyed, and a fresh service over the same directory
+//     replays it — the restart hit rate (expected ~100%) and cold/warm
+//     byte-identity go into the JSON;
+//   - fleet: a supervised multi-worker `ivory serve` fleet (real processes,
+//     IVORY_CLI_BIN) serves the stream over its Unix socket at 1 and 2
+//     workers, measuring mux + transport overhead end to end.
+//
+// Usage: bench_serve_throughput [--smoke] [output.json]
+//   --smoke  tiny sizes (used by the perf-smoke ctest label)
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "serve/batch.hpp"
+#include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "serve/supervisor.hpp"
 
 using namespace ivory;
 
@@ -35,9 +51,9 @@ std::string build_request_stream(int n_groups) {
     out << R"({"op":"sc_static","id":)" << id++ << R"(,"n":3,"m":1,"cfly":4e-6,"gtot":)"
         << (10e3 + 1e3 * g) << R"(,"fsw":80e6,"iload":20})" << "\n";
     out << R"({"op":"buck_static","id":)" << id++ << R"(,"l":5e-9,"fsw":1e8,"phases":4,"iload":)"
-        << (8 + g % 4) << "})" << "\n";
+        << (8 + g % 4) << "}\n";
     out << R"({"op":"ldo_static","id":)" << id++ << R"(,"vin":1.2,"vout":1.0,"iload":)"
-        << (2 + g % 3) << "})" << "\n";
+        << (2 + g % 3) << "}\n";
     // ...and a duplicated one: same body every group, different id.
     out << R"({"op":"sc_static","id":)" << id++
         << R"(,"n":2,"m":1,"cfly":2e-6,"gtot":8e3,"fsw":60e6,"iload":10})" << "\n";
@@ -48,20 +64,101 @@ std::string build_request_stream(int n_groups) {
   return out.str();
 }
 
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string l; std::getline(in, l);)
+    if (!l.empty()) lines.push_back(l);
+  return lines;
+}
+
 struct Measurement {
   unsigned threads = 1;
   serve::BatchSummary summary;
 };
 
+/// Cold-evaluate the stream into a durable store, tear the service down,
+/// and replay against a fresh service over the same directory. Returns the
+/// warm pass's hit rate (in-memory + durable tiers combined).
+double warm_restart_phase(const std::string& input, bool* byte_identical) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "ivory-bench-store-XXXXXX").string();
+  if (::mkdtemp(dir.data()) == nullptr) return -1.0;
+
+  serve::BatchOptions opt;
+  std::string cold_bytes;
+  {
+    serve::ServiceOptions so;
+    so.cache_dir = dir;
+    serve::Service cold(so);
+    std::istringstream in(input);
+    std::ostringstream out;
+    serve::run_batch(in, out, cold, opt);
+    cold_bytes = out.str();
+  }  // service destroyed: only the durable tier carries over
+
+  serve::ServiceOptions so;
+  so.cache_dir = dir;
+  serve::Service warm(so);
+  std::istringstream in(input);
+  std::ostringstream out;
+  const serve::BatchSummary warm_run = serve::run_batch(in, out, warm, opt);
+  *byte_identical = out.str() == cold_bytes;
+  std::filesystem::remove_all(dir);
+  return warm_run.passes.empty() ? -1.0 : warm_run.passes[0].hit_rate();
+}
+
+/// Requests/sec through a supervised fleet of real worker processes, driven
+/// by `n_clients` concurrent connections in lock-step request/response.
+double fleet_phase(const std::vector<std::string>& requests, int workers,
+                   int n_clients) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "ivory-bench-fleet-XXXXXX").string();
+  if (::mkdtemp(dir.data()) == nullptr) return -1.0;
+
+  serve::SupervisorOptions o;
+  o.socket_path = dir + "/sock";
+  o.workers = workers;
+  o.exe = IVORY_CLI_BIN;
+  serve::Supervisor fleet(std::move(o));
+  fleet.start();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < n_clients; ++c)
+    clients.emplace_back([&] {
+      serve::BlockingClient cli(fleet.socket_path());
+      for (const std::string& r : requests) {
+        cli.send_line(r);
+        (void)cli.recv_line();
+      }
+    });
+  for (std::thread& t : clients) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  fleet.stop();
+  std::filesystem::remove_all(dir);
+  return wall_s > 0 ? static_cast<double>(requests.size()) * n_clients / wall_s : -1.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
-  const std::string input = build_request_stream(24);
+  bool smoke = false;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else
+      out_path = argv[i];
+  }
+  const std::string input = build_request_stream(smoke ? 6 : 24);
+  const std::vector<unsigned> thread_counts =
+      smoke ? std::vector<unsigned>{1u, 2u} : std::vector<unsigned>{1u, 2u, 4u};
 
   std::vector<Measurement> runs;
   std::string reference;  // response bytes of the first run
-  for (const unsigned threads : {1u, 2u, 4u}) {
+  for (const unsigned threads : thread_counts) {
     par::set_global_threads(threads);
     serve::Service service;
     std::istringstream in(input);
@@ -82,6 +179,34 @@ int main(int argc, char** argv) {
     }
   }
   par::set_global_threads(1);
+
+  // Durable warm restart: the hit rate a restarted service gets purely from
+  // its store directory. Anything below 100% means results failed to publish
+  // or failed verification on the way back in.
+  bool restart_identical = false;
+  const double restart_hit_rate = warm_restart_phase(input, &restart_identical);
+  if (restart_hit_rate < 0.999 || !restart_identical) {
+    std::fprintf(stderr,
+                 "FATAL: warm restart hit rate %.4f (want ~1.0), byte_identical=%d\n",
+                 restart_hit_rate, restart_identical);
+    return 1;
+  }
+
+  // Supervised fleet, real worker processes over the Unix socket.
+  const std::vector<std::string> fleet_requests = split_lines(input);
+  struct FleetRun {
+    int workers;
+    double rps;
+  };
+  std::vector<FleetRun> fleet_runs;
+  for (const int workers : {1, 2}) {
+    const double rps = fleet_phase(fleet_requests, workers, 2);
+    if (rps < 0) {
+      std::fprintf(stderr, "FATAL: fleet phase failed at %d workers\n", workers);
+      return 1;
+    }
+    fleet_runs.push_back({workers, rps});
+  }
 
   TextTable t({"threads", "pass", "requests", "req/s", "hit rate", "evals"});
   std::string json = "{\"benchmark\":\"serve_throughput\",\"runs\":[";
@@ -105,10 +230,28 @@ int main(int argc, char** argv) {
                   m.summary.passes[0].hit_rate(), m.summary.passes[1].hit_rate());
     json += buf;
   }
-  json += "],\"byte_identical\":true}";
+  json += "],\"byte_identical\":true";
+  {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, ",\"warm_restart_hit_rate\":%.4f", restart_hit_rate);
+    json += buf;
+  }
+  json += ",\"fleet\":[";
+  for (std::size_t i = 0; i < fleet_runs.size(); ++i) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%s{\"workers\":%d,\"requests_per_s\":%.1f}",
+                  i == 0 ? "" : ",", fleet_runs[i].workers, fleet_runs[i].rps);
+    json += buf;
+  }
+  json += "]}";
 
-  std::printf("serve throughput (repeat=2: cold pass then warm pass)\n\n%s\n",
-              t.render().c_str());
+  std::printf("serve throughput (repeat=2: cold pass then warm pass)%s\n\n%s\n",
+              smoke ? " (smoke)" : "", t.render().c_str());
+  std::printf("warm restart hit rate: %.1f%% (byte-identical: yes)\n",
+              restart_hit_rate * 100);
+  for (const FleetRun& f : fleet_runs)
+    std::printf("fleet %d worker%s: %.0f req/s\n", f.workers,
+                f.workers == 1 ? "" : "s", f.rps);
   if (FILE* f = std::fopen(out_path.c_str(), "w")) {
     std::fprintf(f, "%s\n", json.c_str());
     std::fclose(f);

@@ -40,6 +40,7 @@ BatchSummary run_batch(std::istream& in, std::ostream& out, Service& service,
     p.evictions = after.cache.evictions - before.cache.evictions;
     p.evaluations = after.n_evaluations - before.n_evaluations;
     p.errors = after.n_errors - before.n_errors;
+    p.store_hits = after.store_hits - before.store_hits;
     summary.passes.push_back(p);
     summary.requests += p.requests;
   }
@@ -58,6 +59,7 @@ std::string summary_json(const BatchSummary& summary) {
     o.emplace_back("cache_evictions", p.evictions);
     o.emplace_back("evaluations", p.evaluations);
     o.emplace_back("errors", p.errors);
+    o.emplace_back("store_hits", p.store_hits);
     o.emplace_back("hit_rate", p.hit_rate());
     passes.emplace_back(std::move(o));
   }

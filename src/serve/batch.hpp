@@ -33,10 +33,14 @@ struct BatchPassStats {
   std::uint64_t evictions = 0;
   std::uint64_t evaluations = 0;
   std::uint64_t errors = 0;
+  std::uint64_t store_hits = 0;  ///< in-memory misses answered by the durable tier
 
+  /// Memory + durable tiers combined: a durable-store hit counted as a miss
+  /// by the in-memory LRU still avoided an evaluation.
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
-    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits + store_hits) / static_cast<double>(total);
   }
 };
 

@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <csignal>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -15,12 +16,16 @@ namespace {
   throw InvalidParameter("serve: " + what + ": " + std::strerror(errno));
 }
 
+/// Socket write that can never raise SIGPIPE: a client that disconnects
+/// mid-response must cost exactly its own connection, not the process.
+/// MSG_NOSIGNAL turns the signal into an EPIPE return, which — like any
+/// other send error here — drops the remaining bytes for that connection.
 void write_all(int fd, const char* data, std::size_t n) {
   while (n > 0) {
-    const ssize_t w = ::write(fd, data, n);
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
-      return;  // client went away; its remaining responses are dropped
+      return;  // client went away (EPIPE, ECONNRESET, ...); drop its responses
     }
     data += w;
     n -= static_cast<std::size_t>(w);
@@ -55,6 +60,9 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   require(!opt_.socket_path.empty(), "serve: socket_path is required");
+  // Belt to MSG_NOSIGNAL's suspenders: any stray write to a dead peer (e.g.
+  // through a library that bypasses write_all) must not kill the server.
+  ::signal(SIGPIPE, SIG_IGN);
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   require(opt_.socket_path.size() < sizeof(addr.sun_path),

@@ -80,7 +80,23 @@ json::Value box_to_json(const BoxStats& b) {
 }  // namespace
 
 Service::Service(ServiceOptions opt)
-    : opt_(opt), cache_(opt.cache_capacity, opt.cache_shards) {}
+    : opt_(opt), cache_(opt.cache_capacity, opt.cache_shards) {
+  if (!opt_.cache_dir.empty()) {
+    StoreOptions sopt;
+    sopt.dir = opt_.cache_dir;
+    sopt.max_bytes = opt_.store_max_bytes;
+    store_ = std::make_unique<DurableStore>(sopt);
+    if (opt_.warm_load) {
+      // Replay survivors into the in-memory LRU, oldest-first, so recency
+      // carries across the restart. Corrupt entries are quarantined by the
+      // store's verified iteration and simply don't come back.
+      warm_loaded_ = store_->for_each(
+          [this](std::uint64_t hash, const std::string& key, const std::string& payload) {
+            cache_.insert(hash, key, payload);
+          });
+    }
+  }
+}
 
 std::string Service::error_response(const json::Value& id, const std::string& code,
                                     const std::string& detail) {
@@ -132,6 +148,21 @@ std::string Service::handle_line(const std::string& line) {
     cache.emplace_back("capacity", s.cache.capacity);
     json::Value::Object o;
     o.emplace_back("cache", json::Value(std::move(cache)));
+    if (s.durable) {
+      // Only present when a cache_dir is configured, so the stats response
+      // of a store-less service keeps its exact historical bytes.
+      json::Value::Object store;
+      store.emplace_back("hits", s.store.hits);
+      store.emplace_back("misses", s.store.misses);
+      store.emplace_back("puts", s.store.puts);
+      store.emplace_back("put_failures", s.store.put_failures);
+      store.emplace_back("quarantined", s.store.quarantined);
+      store.emplace_back("gc_evictions", s.store.gc_evictions);
+      store.emplace_back("entries", s.store.entries);
+      store.emplace_back("bytes", s.store.bytes);
+      store.emplace_back("warm_loaded", s.warm_loaded);
+      o.emplace_back("store", json::Value(std::move(store)));
+    }
     o.emplace_back("n_requests", s.n_requests);
     o.emplace_back("n_evaluations", s.n_evaluations);
     o.emplace_back("n_errors", s.n_errors);
@@ -149,6 +180,16 @@ std::string Service::handle_line(const std::string& line) {
 
   if (std::optional<std::string> hit = cache_.lookup(req.key, req.canonical))
     return ok_response(req.id, *hit);
+  if (store_ != nullptr) {
+    // Durable tier: a verified disk hit short-circuits the evaluation and
+    // refills the in-memory LRU. Corrupt entries were quarantined inside
+    // get() and fall through to a fresh evaluation.
+    if (std::optional<std::string> hit = store_->get(req.key, req.canonical)) {
+      store_hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_.insert(req.key, req.canonical, *hit);
+      return ok_response(req.id, *hit);
+    }
+  }
 
   const auto t_eval = std::chrono::steady_clock::now();
   const EvalOutcome<std::string> out =
@@ -172,6 +213,10 @@ std::string Service::handle_line(const std::string& line) {
   }
   const auto t_encode = std::chrono::steady_clock::now();
   cache_.insert(req.key, req.canonical, out.value());
+  // Write-through to the durable tier. A publish failure (disk full, torn
+  // write) downgrades durability, never correctness: the response below is
+  // built from the in-memory value either way.
+  if (store_ != nullptr) store_->put(req.key, req.canonical, out.value());
   std::string resp = ok_response(req.id, out.value());
   m.encode_ms.observe(ms_since(t_encode));
   return resp;
@@ -336,6 +381,12 @@ std::string Service::evaluate(const Request& req) {
 ServiceStats Service::stats() const {
   ServiceStats s;
   s.cache = cache_.stats();
+  if (store_ != nullptr) {
+    s.durable = true;
+    s.store = store_->stats();
+    s.warm_loaded = warm_loaded_;
+  }
+  s.store_hits = store_hits_.load(std::memory_order_relaxed);
   s.n_requests = n_requests_.load(std::memory_order_relaxed);
   s.n_evaluations = n_evaluations_.load(std::memory_order_relaxed);
   s.n_errors = n_errors_.load(std::memory_order_relaxed);

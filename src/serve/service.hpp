@@ -23,10 +23,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "serve/cache.hpp"
 #include "serve/request.hpp"
+#include "serve/store.hpp"
 
 namespace ivory::serve {
 
@@ -36,10 +38,23 @@ struct ServiceOptions {
   /// Upper bound on 'transient' trace/waveform sample counts (guards a
   /// single request against absurd memory demands).
   std::size_t max_samples = 1u << 22;
+  /// Non-empty: back the in-memory cache with a DurableStore in this
+  /// directory — verified entries survive restarts and are shared across
+  /// fleet workers. Successful results are published write-through;
+  /// failures are never stored.
+  std::string cache_dir;
+  std::uint64_t store_max_bytes = 256ull << 20;
+  /// Replay the durable store into the in-memory LRU at construction so a
+  /// restarted service is warm from its first request.
+  bool warm_load = true;
 };
 
 struct ServiceStats {
   CacheStats cache;
+  StoreStats store;                 ///< zeros when no cache_dir is configured
+  bool durable = false;             ///< a DurableStore is attached
+  std::uint64_t store_hits = 0;     ///< misses answered by the durable tier
+  std::uint64_t warm_loaded = 0;    ///< entries replayed at construction
   std::uint64_t n_requests = 0;     ///< lines handled (including bad ones)
   std::uint64_t n_evaluations = 0;  ///< model evaluations actually run
   std::uint64_t n_errors = 0;       ///< error responses produced
@@ -65,14 +80,20 @@ class Service {
   static std::string error_response(const json::Value& id, const std::string& code,
                                     const std::string& detail);
 
+  /// The durable tier, or nullptr when cache_dir is empty.
+  DurableStore* store() { return store_.get(); }
+
  private:
   std::string evaluate(const Request& req);  ///< result payload JSON; throws
 
   ServiceOptions opt_;
   ResultCache cache_;
+  std::unique_ptr<DurableStore> store_;
   std::atomic<std::uint64_t> n_requests_{0};
   std::atomic<std::uint64_t> n_evaluations_{0};
   std::atomic<std::uint64_t> n_errors_{0};
+  std::atomic<std::uint64_t> store_hits_{0};
+  std::uint64_t warm_loaded_ = 0;
 };
 
 }  // namespace ivory::serve

@@ -1,0 +1,405 @@
+#include "serve/store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/hash.hpp"
+#include "common/metrics.hpp"
+
+namespace ivory::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kMagic = "ivorycas1";
+/// Stale tmp/quarantine files older than this are swept at startup. Young
+/// ones are left alone: a sibling fleet worker may still be writing them.
+constexpr double kStaleSweepSeconds = 60.0;
+
+struct CasMetrics {
+  metrics::Counter& hits = metrics::registry().counter("serve.store.hits");
+  metrics::Counter& misses = metrics::registry().counter("serve.store.misses");
+  metrics::Counter& puts = metrics::registry().counter("serve.store.puts");
+  metrics::Counter& quarantined = metrics::registry().counter("serve.store.quarantined");
+};
+
+CasMetrics& cas_metrics() {
+  static CasMetrics m;
+  return m;
+}
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return s;
+}
+
+bool parse_hex16(std::string_view s, std::uint64_t* out) {
+  if (s.size() != 16) return false;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), *out, 16);
+  return res.ec == std::errc{} && res.ptr == s.data() + s.size();
+}
+
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), *out, 10);
+  return res.ec == std::errc{} && res.ptr == s.data() + s.size();
+}
+
+/// True when a deterministic fault site fires, whatever its armed action.
+/// The common harness throws (Throw) or yields NaN (EmitNan); the store maps
+/// either onto the filesystem failure the site models.
+bool fault_fires(const char* site) {
+  if (!fault::any_armed()) return false;
+  try {
+    return std::isnan(fault::inject(site));
+  } catch (const std::exception&) {
+    return true;
+  }
+}
+
+std::uint64_t entry_checksum(std::string_view key, std::string_view payload) {
+  return fnv1a64(payload, fnv1a64(key));
+}
+
+std::string entry_header(std::uint64_t key_hash, std::string_view key,
+                         std::string_view payload) {
+  std::string h(kMagic);
+  h += ' ';
+  h += hex16(key_hash);
+  h += ' ';
+  h += std::to_string(key.size());
+  h += ' ';
+  h += std::to_string(payload.size());
+  h += ' ';
+  h += hex16(entry_checksum(key, payload));
+  h += '\n';
+  return h;
+}
+
+bool write_full(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_whole_file(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  out->clear();
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t r = ::read(fd, buf, sizeof buf);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (r == 0) break;
+    out->append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  return true;
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+DurableStore::DurableStore(StoreOptions opt) : opt_(std::move(opt)) {
+  require(!opt_.dir.empty(), "store: cache directory path is required");
+  std::error_code ec;
+  fs::create_directories(opt_.dir, ec);
+  if (ec || !fs::is_directory(opt_.dir))
+    throw InvalidParameter("store: cannot create cache directory '" + opt_.dir +
+                           "': " + ec.message());
+  std::lock_guard<std::mutex> lock(mu_);
+  scan_locked();
+}
+
+std::string DurableStore::entry_path(std::uint64_t key_hash) const {
+  return opt_.dir + "/e" + hex16(key_hash) + ".cas";
+}
+
+void DurableStore::scan_locked() {
+  struct Found {
+    std::uint64_t mtime_ns;
+    std::uint64_t hash;
+    std::uint64_t size;
+  };
+  std::vector<Found> found;
+  const auto now = fs::file_time_type::clock::now();
+  std::error_code ec;
+  for (const fs::directory_entry& de : fs::directory_iterator(opt_.dir, ec)) {
+    if (!de.is_regular_file(ec)) continue;
+    const std::string name = de.path().filename().string();
+    const bool stale_kind =
+        name.rfind("tmp-", 0) == 0 || (name.size() > 4 && name.ends_with(".bad"));
+    if (stale_kind) {
+      // Crash leftovers (half-written tmp files, old quarantines). Young
+      // ones may belong to a live sibling worker — only sweep old ones.
+      const auto age = std::chrono::duration<double>(now - de.last_write_time(ec));
+      if (!ec && age.count() > kStaleSweepSeconds) fs::remove(de.path(), ec);
+      continue;
+    }
+    std::uint64_t hash = 0;
+    if (name.size() == 21 && name[0] == 'e' && name.ends_with(".cas") &&
+        parse_hex16(std::string_view(name).substr(1, 16), &hash)) {
+      const std::uint64_t mtime_ns = static_cast<std::uint64_t>(
+          de.last_write_time(ec).time_since_epoch().count());
+      found.push_back({mtime_ns, hash, de.file_size(ec)});
+    }
+  }
+  // Seed LRU order from mtimes: oldest file gets the smallest touch stamp.
+  std::sort(found.begin(), found.end(),
+            [](const Found& a, const Found& b) { return a.mtime_ns < b.mtime_ns; });
+  for (const Found& f : found) {
+    index_[f.hash] = Entry{f.size, ++touch_seq_};
+    bytes_ += f.size;
+  }
+}
+
+std::optional<std::string> DurableStore::read_verified(std::uint64_t key_hash,
+                                                       std::string_view expect_key,
+                                                       bool any_key,
+                                                       std::string* actual_key,
+                                                       bool* collision) {
+  if (collision != nullptr) *collision = false;
+  const std::string path = entry_path(key_hash);
+  std::string blob;
+  if (!read_whole_file(path, &blob)) return std::nullopt;  // absent: plain miss
+
+  // Header: "ivorycas1 <hash:16hex> <key_len> <payload_len> <cksum:16hex>\n".
+  const std::size_t nl = blob.find('\n');
+  std::uint64_t hash = 0, key_len = 0, payload_len = 0, cksum = 0;
+  bool ok = nl != std::string::npos;
+  if (ok) {
+    std::string_view line(blob.data(), nl);
+    std::vector<std::string_view> tok;
+    for (std::size_t pos = 0; pos <= line.size();) {
+      const std::size_t sp = std::min(line.find(' ', pos), line.size());
+      tok.push_back(line.substr(pos, sp - pos));
+      pos = sp + 1;
+    }
+    ok = tok.size() == 5 && tok[0] == kMagic && parse_hex16(tok[1], &hash) &&
+         parse_u64(tok[2], &key_len) && parse_u64(tok[3], &payload_len) &&
+         parse_hex16(tok[4], &cksum);
+  }
+  ok = ok && hash == key_hash && blob.size() == nl + 1 + key_len + payload_len;
+  std::string_view key, payload;
+  if (ok) {
+    key = std::string_view(blob).substr(nl + 1, key_len);
+    payload = std::string_view(blob).substr(nl + 1 + key_len, payload_len);
+    ok = entry_checksum(key, payload) == cksum;
+  }
+  if (!ok) {
+    quarantine_locked(key_hash, "corrupt entry");
+    return std::nullopt;
+  }
+  if (!any_key && key != expect_key) {
+    // Intact entry, different key: a 64-bit hash collision. The entry is a
+    // legitimate answer for *its* key, so it stays; this probe is a miss.
+    if (collision != nullptr) *collision = true;
+    return std::nullopt;
+  }
+  if (actual_key != nullptr) actual_key->assign(key);
+  return std::string(payload);
+}
+
+void DurableStore::quarantine_locked(std::uint64_t key_hash, const std::string& why) {
+  const std::string path = entry_path(key_hash);
+  const std::string quar =
+      opt_.dir + "/quar-" + hex16(key_hash) + "-" + std::to_string(quarantined_) + ".bad";
+  if (::rename(path.c_str(), quar.c_str()) != 0) ::unlink(path.c_str());
+  const auto it = index_.find(key_hash);
+  if (it != index_.end()) {
+    bytes_ -= std::min(bytes_, it->second.size);
+    index_.erase(it);
+  }
+  ++quarantined_;
+  cas_metrics().quarantined.add();
+  (void)why;
+}
+
+void DurableStore::gc_locked(std::uint64_t protect_hash) {
+  while (bytes_ > opt_.max_bytes && index_.size() > 1) {
+    auto victim = index_.end();
+    for (auto it = index_.begin(); it != index_.end(); ++it) {
+      if (it->first == protect_hash) continue;
+      if (victim == index_.end() || it->second.touch < victim->second.touch) victim = it;
+    }
+    if (victim == index_.end()) break;
+    ::unlink(entry_path(victim->first).c_str());  // ENOENT fine: sibling GC'd it
+    bytes_ -= std::min(bytes_, victim->second.size);
+    ++gc_evictions_;
+    index_.erase(victim);
+  }
+}
+
+std::optional<std::string> DurableStore::get(std::uint64_t key_hash,
+                                             std::string_view canonical_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool collision = false;
+  std::optional<std::string> payload =
+      read_verified(key_hash, canonical_key, /*any_key=*/false, nullptr, &collision);
+  if (!payload.has_value()) {
+    ++misses_;
+    cas_metrics().misses.add();
+    return std::nullopt;
+  }
+  // Another process may have published this entry after our startup scan.
+  auto [it, inserted] = index_.try_emplace(key_hash, Entry{});
+  if (inserted) bytes_ += payload->size();  // approximate; refreshed on next put
+  it->second.touch = ++touch_seq_;
+  // Refresh the file mtime so recency survives a restart: the startup scan
+  // seeds LRU order from mtimes, and warm-load replays oldest-first.
+  ::utimensat(AT_FDCWD, entry_path(key_hash).c_str(), nullptr, 0);
+  ++hits_;
+  cas_metrics().hits.add();
+  return payload;
+}
+
+bool DurableStore::put(std::uint64_t key_hash, std::string_view canonical_key,
+                       std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  const std::string header = entry_header(key_hash, canonical_key, payload);
+  std::string blob;
+  blob.reserve(header.size() + canonical_key.size() + payload.size());
+  blob += header;
+  blob += canonical_key;
+  blob += payload;
+
+  // `cas.bitflip`: silent media corruption — the damage lands *after* the
+  // checksum is sealed, so the write succeeds and the corruption only
+  // surfaces (and is quarantined) on a verified read.
+  if (fault_fires("cas.bitflip") && !payload.empty())
+    blob[header.size() + canonical_key.size() + payload.size() / 2] ^= 0x01;
+
+  const std::string tmp =
+      opt_.dir + "/tmp-" + std::to_string(::getpid()) + "-" + std::to_string(tmp_seq_++);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    ++put_failures_;
+    return false;
+  }
+  // `cas.enospc`: the filesystem rejects the write outright (disk full).
+  if (fault_fires("cas.enospc")) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    ++put_failures_;
+    return false;
+  }
+  // `cas.short_write`: crash mid-write — half the bytes land, then nothing.
+  // The truncated tmp file is deliberately left behind (that is what a real
+  // crash leaves); it is never addressable and startup sweeps it.
+  if (fault_fires("cas.short_write")) {
+    write_full(fd, blob.data(), blob.size() / 2);
+    ::close(fd);
+    ++put_failures_;
+    return false;
+  }
+  if (!write_full(fd, blob.data(), blob.size()) || ::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    ++put_failures_;
+    return false;
+  }
+  ::close(fd);
+
+  std::uint64_t published_size = blob.size();
+  // `cas.torn_rename`: the worst publish failure — a truncated file becomes
+  // visible under the *final* name (models a crash that tears the data but
+  // not the metadata). Readers must detect and quarantine it.
+  if (fault_fires("cas.torn_rename")) {
+    if (::truncate(tmp.c_str(), static_cast<off_t>(blob.size() * 2 / 3)) == 0)
+      published_size = blob.size() * 2 / 3;
+    ::rename(tmp.c_str(), entry_path(key_hash).c_str());
+    auto [it, inserted] = index_.try_emplace(key_hash, Entry{});
+    if (!inserted) bytes_ -= std::min(bytes_, it->second.size);
+    it->second = Entry{published_size, ++touch_seq_};
+    bytes_ += published_size;
+    ++put_failures_;
+    return false;
+  }
+
+  if (::rename(tmp.c_str(), entry_path(key_hash).c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    ++put_failures_;
+    return false;
+  }
+  fsync_dir(opt_.dir);
+
+  auto [it, inserted] = index_.try_emplace(key_hash, Entry{});
+  if (!inserted) bytes_ -= std::min(bytes_, it->second.size);
+  it->second = Entry{published_size, ++touch_seq_};
+  bytes_ += published_size;
+  ++puts_;
+  cas_metrics().puts.add();
+  gc_locked(key_hash);
+  return true;
+}
+
+std::size_t DurableStore::for_each(
+    const std::function<void(std::uint64_t, const std::string&, const std::string&)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> order;  // (touch, hash)
+  order.reserve(index_.size());
+  for (const auto& [hash, e] : index_) order.emplace_back(e.touch, hash);
+  std::sort(order.begin(), order.end());
+  std::size_t delivered = 0;
+  for (const auto& [touch, hash] : order) {
+    std::string key;
+    std::optional<std::string> payload =
+        read_verified(hash, {}, /*any_key=*/true, &key, nullptr);
+    if (!payload.has_value()) continue;  // corrupt: quarantined in-place
+    fn(hash, key, *payload);
+    ++delivered;
+  }
+  return delivered;
+}
+
+StoreStats DurableStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StoreStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.puts = puts_;
+  s.put_failures = put_failures_;
+  s.quarantined = quarantined_;
+  s.gc_evictions = gc_evictions_;
+  s.entries = index_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+}  // namespace ivory::serve

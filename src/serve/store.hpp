@@ -1,0 +1,127 @@
+// Disk-backed content-addressed result store (the durable tier under the
+// in-memory sharded LRU).
+//
+// One entry per canonical request: the file `e<fnv1a64:16hex>.cas` holds a
+// fixed header line, the full canonical key, and the serialized response
+// payload. The header carries both byte lengths and an fnv1a64 checksum over
+// key+payload, so *every* read is fully verified:
+//
+//   - header malformed / lengths disagree with the file  -> corrupt
+//   - checksum mismatch (bit flip, torn write)           -> corrupt
+//   - checksum good but key differs from the probe's key -> hash collision
+//
+// A corrupt entry is quarantined (renamed to `quar-*.bad`, never addressable
+// again) and counted — a durable-store defect is always a miss plus a
+// re-evaluation, never a wrong answer. A collision is a plain miss: the
+// store keeps whichever key wrote last, exactly like the in-memory cache's
+// full-key compare.
+//
+// Crash safety: writes go to `tmp-<pid>-<seq>.tmp`, are fsync'd, then
+// renamed over the final name, then the directory is fsync'd. A crash at
+// any point leaves either the old entry, the new entry, or a tmp file that
+// the next startup sweeps away — never a half-written addressable entry.
+// Multiple processes (the serve fleet) share one directory safely: tmp
+// names are pid-unique, rename is atomic, and concurrent GC unlinks
+// tolerate ENOENT.
+//
+// GC: `max_bytes` caps the sum of entry sizes. Inserting past the cap
+// evicts least-recently-used entries first (access order is tracked in
+// memory and seeded from file mtimes at startup).
+//
+// Fault injection (deterministic, via common/fault): sites
+// `cas.short_write` (tmp file truncated mid-write, put fails),
+// `cas.enospc` (write rejected as if the disk were full, put fails),
+// `cas.torn_rename` (a truncated file becomes visible under the final
+// name — the worst-case torn publish a read must catch), and
+// `cas.bitflip` (payload corrupted in flight, caught by the read-side
+// checksum). Tests arm them through fault::arm_on_hit/arm_probability.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ivory::serve {
+
+struct StoreOptions {
+  std::string dir;                              ///< required; created if absent
+  std::uint64_t max_bytes = 256ull << 20;       ///< entry-byte budget before GC
+};
+
+struct StoreStats {
+  std::uint64_t hits = 0;          ///< verified reads served
+  std::uint64_t misses = 0;        ///< absent entries (incl. collisions)
+  std::uint64_t puts = 0;          ///< entries durably published
+  std::uint64_t put_failures = 0;  ///< failed publishes (fs errors, faults)
+  std::uint64_t quarantined = 0;   ///< corrupt entries detected and removed
+  std::uint64_t gc_evictions = 0;  ///< entries evicted by the size cap
+  std::uint64_t entries = 0;       ///< addressable entries right now
+  std::uint64_t bytes = 0;         ///< their total size on disk
+};
+
+/// Thread-safe; a single instance may also share its directory with other
+/// processes holding their own instances (the fleet case).
+class DurableStore {
+ public:
+  /// Opens (creating if needed) the store directory, sweeps stale tmp
+  /// files, and indexes the existing entries. Throws InvalidParameter when
+  /// the directory cannot be created or opened.
+  explicit DurableStore(StoreOptions opt);
+
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// Verified read. Returns the payload only when the entry's checksum is
+  /// intact *and* its stored key equals `canonical_key` byte-for-byte.
+  /// Corruption quarantines the entry and reports a miss.
+  std::optional<std::string> get(std::uint64_t key_hash, std::string_view canonical_key);
+
+  /// Crash-safe publish (write-temp, fsync, rename, fsync dir). Returns
+  /// false when the entry could not be durably published; the store is
+  /// left readable either way.
+  bool put(std::uint64_t key_hash, std::string_view canonical_key,
+           std::string_view payload);
+
+  /// Verified iteration over every entry, oldest-first (warm-load order:
+  /// the most recently used entry is visited last, so feeding an LRU in
+  /// this order preserves recency). Corrupt entries are quarantined and
+  /// skipped. Returns the number of entries delivered.
+  std::size_t for_each(
+      const std::function<void(std::uint64_t key_hash, const std::string& key,
+                               const std::string& payload)>& fn);
+
+  StoreStats stats() const;
+  const std::string& dir() const { return opt_.dir; }
+
+ private:
+  struct Entry {
+    std::uint64_t size = 0;
+    std::uint64_t touch = 0;  ///< LRU stamp (monotonic, seeded from mtime order)
+  };
+
+  std::string entry_path(std::uint64_t key_hash) const;
+  /// Reads + verifies one entry file. Returns nullopt (after quarantining)
+  /// when corrupt; sets `collision` instead when the entry is intact but
+  /// keyed differently. Caller holds mu_.
+  std::optional<std::string> read_verified(std::uint64_t key_hash,
+                                           std::string_view expect_key, bool any_key,
+                                           std::string* actual_key, bool* collision);
+  void quarantine_locked(std::uint64_t key_hash, const std::string& why);
+  void gc_locked(std::uint64_t protect_hash);
+  void scan_locked();
+
+  StoreOptions opt_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> index_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t touch_seq_ = 0;
+  std::uint64_t tmp_seq_ = 0;
+  std::uint64_t hits_ = 0, misses_ = 0, puts_ = 0, put_failures_ = 0;
+  std::uint64_t quarantined_ = 0, gc_evictions_ = 0;
+};
+
+}  // namespace ivory::serve

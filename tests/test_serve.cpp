@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <filesystem>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -461,6 +462,77 @@ TEST(Serve, SpiceTransientSchemaIsStrict) {
   EXPECT_TRUE(response_ok(over));
   const std::string rejected = small.handle_line(spice_transient_request(8, 4));
   EXPECT_FALSE(response_ok(rejected));
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: dead clients and enriched numerical failures.
+// ---------------------------------------------------------------------------
+
+TEST(Serve, ClientDroppingMidResponseDoesNotKillTheServer) {
+  // Regression for the SIGPIPE hole: a client that sends a request and
+  // disconnects before reading the response used to be able to kill the
+  // whole process (write to a closed socket -> SIGPIPE -> default terminate).
+  // The failure mode must cost exactly that one connection.
+  ServerOptions opt;
+  opt.socket_path = "/tmp/ivory_test_sigpipe_" + std::to_string(::getpid()) + ".sock";
+  Server server(std::move(opt));
+  server.start();
+
+  for (int round = 0; round < 3; ++round) {
+    // An expensive-enough request that the response is still being computed
+    // when the client's socket is already closed.
+    BlockingClient dropper(server.socket_path());
+    dropper.send_line(spice_transient_request(8, 100 + round));
+    // ~BlockingClient closes the fd immediately; the server's response write
+    // hits a dead peer.
+  }
+  // Give the in-flight evaluations time to finish and write into the void.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // The server is still alive and serves a well-behaved client.
+  BlockingClient client(server.socket_path());
+  client.send_line(request_mix()[0]);
+  EXPECT_TRUE(response_ok(client.recv_line()));
+  server.stop();
+}
+
+TEST(Serve, SingularMatrixErrorNamesTheOffendingUnknown) {
+  // Two ideal voltage sources forcing the same node: structurally singular
+  // MNA system. The serve error envelope must surface the enriched
+  // diagnostic (which unknown's pivot collapsed), not a bare "singular".
+  Service svc;
+  const std::string resp = svc.handle_line(
+      R"({"op":"transient","id":1,"topology":"spice",)"
+      R"("netlist":"v1 rail 0 DC 1.0\nv2 rail 0 DC 2.0\nr1 rail 0 1.0\n.end\n",)"
+      R"("tstop":1e-8,"dt":1e-9})");
+  EXPECT_FALSE(response_ok(resp));
+  const json::Value err = *parsed(resp).find("error");
+  EXPECT_EQ(err.find("code")->as_string(), "numerical");
+  EXPECT_EQ(err.find("site")->as_string(), "serve.transient");
+  const std::string detail = err.find("detail")->as_string();
+  EXPECT_NE(detail.find("singular"), std::string::npos) << detail;
+  EXPECT_NE(detail.find("offending unknown"), std::string::npos) << detail;
+  // The colliding unknown is one of the source branch currents.
+  EXPECT_NE(detail.find("branch current"), std::string::npos) << detail;
+}
+
+TEST(Serve, FailedEvaluationsNeverReachTheDurableStore) {
+  std::string dir = "/tmp/ivory_test_failstore_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir.data()), nullptr);
+  ServiceOptions opt;
+  opt.cache_dir = dir;
+  Service svc(opt);
+  const std::string resp = svc.handle_line(
+      R"({"op":"transient","id":1,"topology":"spice",)"
+      R"("netlist":"v1 rail 0 DC 1.0\nv2 rail 0 DC 2.0\nr1 rail 0 1.0\n.end\n",)"
+      R"("tstop":1e-8,"dt":1e-9})");
+  EXPECT_FALSE(response_ok(resp));
+  // Neither tier may remember the failure: the next identical request (with
+  // the singularity fixed upstream, or transiently absent) must re-evaluate.
+  EXPECT_EQ(svc.stats().cache.entries, 0u);
+  EXPECT_EQ(svc.stats().store.puts, 0u);
+  EXPECT_EQ(svc.stats().store.entries, 0u);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -22,6 +22,10 @@
 #include <string>
 #include <vector>
 
+#include <csignal>
+#include <sys/prctl.h>
+#include <unistd.h>
+
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/statistics.hpp"
@@ -30,6 +34,7 @@
 #include "core/ivory.hpp"
 #include "serve/batch.hpp"
 #include "serve/server.hpp"
+#include "serve/supervisor.hpp"
 
 using namespace ivory;
 
@@ -70,6 +75,7 @@ class Args {
     if (it == kv_.end()) throw UsageError("missing required flag --" + key);
     return it->second;
   }
+  bool has(const std::string& key) const { return kv_.count(key) != 0; }
 
  private:
   std::map<std::string, std::string> kv_;
@@ -402,6 +408,9 @@ int cmd_batch(const Args& a) {
   if (threads > 0) par::set_global_threads(static_cast<unsigned>(threads));
   serve::ServiceOptions sopt;
   sopt.cache_capacity = static_cast<std::size_t>(a.integer("cache", 4096));
+  sopt.cache_dir = a.str("cache-dir", "");
+  if (a.has("store-max-bytes"))
+    sopt.store_max_bytes = static_cast<std::uint64_t>(a.num("store-max-bytes", 0));
   serve::Service service(sopt);
   serve::BatchOptions bopt;
   bopt.repeat = a.integer("repeat", 1);
@@ -443,15 +452,114 @@ int cmd_metrics(const Args& a) {
   return 0;
 }
 
+/// Blocks SIGTERM/SIGINT in the calling thread (threads started afterwards
+/// inherit the mask), then waits for one. Returns the signal number.
+int wait_for_termination_signal() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGTERM);
+  sigaddset(&set, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  int sig = 0;
+  sigwait(&set, &sig);
+  return sig;
+}
+
+void print_serve_stats(const serve::ServiceStats& s) {
+  std::fprintf(stderr,
+               "ivory serve: handled %llu requests (%llu evaluated, %llu errors), "
+               "cache %llu/%llu hit/miss, %llu evictions",
+               static_cast<unsigned long long>(s.n_requests),
+               static_cast<unsigned long long>(s.n_evaluations),
+               static_cast<unsigned long long>(s.n_errors),
+               static_cast<unsigned long long>(s.cache.hits),
+               static_cast<unsigned long long>(s.cache.misses),
+               static_cast<unsigned long long>(s.cache.evictions));
+  if (s.durable)
+    std::fprintf(stderr, ", store %llu hits / %llu puts (%llu warm-loaded, %llu quarantined)",
+                 static_cast<unsigned long long>(s.store.hits),
+                 static_cast<unsigned long long>(s.store.puts),
+                 static_cast<unsigned long long>(s.warm_loaded),
+                 static_cast<unsigned long long>(s.store.quarantined));
+  std::fprintf(stderr, "\n");
+}
+
 int cmd_serve(const Args& a) {
   const int threads = a.integer("threads", 0);
   if (threads > 0) par::set_global_threads(static_cast<unsigned>(threads));
+  const std::string socket = a.require_str("socket");
+  const int workers = a.integer("workers", 1);
+  const bool worker_mode = a.integer("worker", 0) != 0;
+
+  if (workers > 1 && !worker_mode) {
+    // Supervised fleet: N worker processes behind one acceptor/mux.
+    serve::SupervisorOptions o;
+    o.socket_path = socket;
+    o.workers = workers;
+    for (const char* flag : {"threads", "cache", "queue", "wave", "cache-dir",
+                             "store-max-bytes"})
+      if (a.has(flag)) {
+        o.worker_args.push_back(std::string("--") + flag);
+        o.worker_args.push_back(a.str(flag, ""));
+      }
+    o.backoff_initial_ms = a.integer("backoff-ms", o.backoff_initial_ms);
+    o.flap_limit = a.integer("flap-limit", o.flap_limit);
+    o.drain_deadline_ms = a.integer("drain-ms", o.drain_deadline_ms);
+    o.health_interval_ms = a.integer("health-ms", o.health_interval_ms);
+    serve::Supervisor fleet(std::move(o));
+    // Block the termination signals before the fleet's threads exist so
+    // SIGTERM always lands in this sigwait, never kills a pump thread.
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGTERM);
+    sigaddset(&set, SIGINT);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+    fleet.start();
+    std::fprintf(stderr, "ivory serve: fleet of %d workers on %s (SIGTERM drains)\n",
+                 workers, fleet.socket_path().c_str());
+    int sig = 0;
+    sigwait(&set, &sig);
+    std::fprintf(stderr, "ivory serve: signal %d, draining fleet\n", sig);
+    fleet.stop();
+    const serve::FleetStats fs = fleet.stats();
+    std::uint64_t restarts = 0, crashes = 0;
+    for (const serve::WorkerStatus& w : fs.workers) {
+      restarts += w.restarts;
+      crashes += w.crashes;
+    }
+    std::fprintf(stderr,
+                 "ivory serve: fleet handled %llu connections (%llu retryable errors, "
+                 "%llu worker crashes, %llu restarts)\n",
+                 static_cast<unsigned long long>(fs.connections),
+                 static_cast<unsigned long long>(fs.retry_errors),
+                 static_cast<unsigned long long>(crashes),
+                 static_cast<unsigned long long>(restarts));
+    return 0;
+  }
+
   serve::ServerOptions o;
-  o.socket_path = a.require_str("socket");
+  o.socket_path = socket;
   o.service.cache_capacity = static_cast<std::size_t>(a.integer("cache", 4096));
+  o.service.cache_dir = a.str("cache-dir", "");
+  if (a.has("store-max-bytes"))
+    o.service.store_max_bytes = static_cast<std::uint64_t>(a.num("store-max-bytes", 0));
   o.queue_capacity = static_cast<std::size_t>(a.integer("queue", 1024));
   o.wave = static_cast<std::size_t>(a.integer("wave", 0));
   serve::Server server(std::move(o));
+
+  if (worker_mode) {
+    // Fleet worker: die with the supervisor, drain gracefully on SIGTERM.
+    ::prctl(PR_SET_PDEATHSIG, SIGTERM);
+    if (::getppid() == 1) return 0;  // supervisor already gone
+    server.start();
+    std::fprintf(stderr, "ivory serve: worker %d on %s\n", ::getpid(),
+                 server.socket_path().c_str());
+    wait_for_termination_signal();
+    server.stop();  // finishes in-flight requests before returning
+    print_serve_stats(server.stats());
+    return 0;
+  }
+
   server.start();
   std::fprintf(stderr, "ivory serve: listening on %s (EOF on stdin stops the server)\n",
                server.socket_path().c_str());
@@ -459,16 +567,23 @@ int cmd_serve(const Args& a) {
   while (std::fgets(buf, sizeof buf, stdin) != nullptr) {
   }
   server.stop();
-  const serve::ServiceStats s = server.stats();
-  std::fprintf(stderr,
-               "ivory serve: handled %llu requests (%llu evaluated, %llu errors), "
-               "cache %llu/%llu hit/miss, %llu evictions\n",
-               static_cast<unsigned long long>(s.n_requests),
-               static_cast<unsigned long long>(s.n_evaluations),
-               static_cast<unsigned long long>(s.n_errors),
-               static_cast<unsigned long long>(s.cache.hits),
-               static_cast<unsigned long long>(s.cache.misses),
-               static_cast<unsigned long long>(s.cache.evictions));
+  print_serve_stats(server.stats());
+  return 0;
+}
+
+int cmd_client(const Args& a) {
+  // Minimal socket client for scripts and smoke tests: NDJSON requests on
+  // stdin, one response line per request on stdout (strict ordering is the
+  // transport contract). Exit 1 when the connection dies mid-stream.
+  serve::BlockingClient client(a.require_str("socket"));
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    client.send_line(line);
+    std::printf("%s\n", client.recv_line().c_str());
+    std::fflush(stdout);
+  }
   return 0;
 }
 
@@ -488,10 +603,18 @@ void usage() {
       "                  --record n1,n2 --record-every N --adaptive 1 --dv-max V\n"
       "                  --dt-max s --lu-cache N --kernel auto|dense|banded|sparse]\n"
       "                  (cost counters on stderr)\n"
-      "  ivory batch    [--repeat N --threads N --cache N --queue N --wave N]\n"
+      "  ivory batch    [--repeat N --threads N --cache N --queue N --wave N\n"
+      "                  --cache-dir PATH --store-max-bytes B]\n"
       "                  NDJSON requests on stdin -> NDJSON responses on stdout\n"
-      "  ivory serve    --socket PATH [--threads N --cache N --queue N --wave N]\n"
+      "  ivory serve    --socket PATH [--workers N --threads N --cache N --queue N\n"
+      "                  --wave N --cache-dir PATH --store-max-bytes B]\n"
       "                  same protocol over a Unix-domain socket; EOF on stdin stops\n"
+      "                  --workers N>1 runs a supervised multi-process fleet\n"
+      "                  (SIGTERM drains; tuning: --backoff-ms --flap-limit\n"
+      "                  --drain-ms --health-ms); --cache-dir adds a durable\n"
+      "                  content-addressed result store shared by all workers\n"
+      "  ivory client   --socket PATH\n"
+      "                  NDJSON on stdin -> response lines on stdout (for scripts)\n"
       "  ivory metrics  [--socket PATH --format json|prometheus]\n"
       "                  metrics-registry snapshot (of a running server with --socket)\n\n"
       "batch/transient/explore also take --metrics-out FILE to dump the process\n"
@@ -517,6 +640,7 @@ int main(int argc, char** argv) {
   else if (cmd == "transient") handler = cmd_transient;
   else if (cmd == "batch") handler = cmd_batch;
   else if (cmd == "serve") handler = cmd_serve;
+  else if (cmd == "client") handler = cmd_client;
   else if (cmd == "metrics") handler = cmd_metrics;
   if (handler == nullptr) {
     std::fprintf(stderr, "ivory: unknown subcommand '%s'\n\n", cmd.c_str());
