@@ -19,6 +19,7 @@
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/ivory.hpp"
+#include "scenario/scenario.hpp"
 
 using namespace ivory;
 using Clock = std::chrono::steady_clock;
@@ -66,8 +67,29 @@ struct ScalePoint {
   unsigned threads = 1;
   double explore_s = 0.0;
   double two_stage_s = 0.0;
+  double scenario_s = 0.0;
+  double scenario_cells_per_s = 0.0;
   bool identical_to_serial = false;
 };
+
+/// Residency-sweep workload for the scenario phase: hybrid delivery over the
+/// three-state race-to-halt preset. Smoke shortens the traces, not the grid,
+/// so the per-cell parallel_map shape stays representative.
+scenario::ScenarioSpec scenario_workload(bool smoke) {
+  scenario::ScenarioSpec spec;
+  spec.name = "race-to-halt";
+  spec.states = workload::residency_preset("race-to-halt");
+  scenario::DomainSpec core_dom, uncore_dom;
+  core_dom.name = "core";
+  core_dom.power_frac = 0.75;
+  core_dom.delivery = scenario::Delivery::OnChipIvr;
+  uncore_dom.name = "uncore";
+  uncore_dom.power_frac = 0.25;
+  uncore_dom.delivery = scenario::Delivery::OffChipVrm;
+  spec.domains = {core_dom, uncore_dom};
+  spec.duration_s = smoke ? 4e-6 : 20e-6;
+  return spec;
+}
 
 }  // namespace
 
@@ -100,6 +122,11 @@ int main(int argc, char** argv) {
   par::set_global_threads(1);
   const std::vector<core::DseResult> reference = core::explore(sys);
   const core::TwoStageResult two_ref = core::optimize_two_stage(sys, 4);
+  const scenario::ScenarioSpec spec = scenario_workload(smoke);
+  const std::string scenario_ref =
+      scenario::to_json(
+          scenario::evaluate_scenario(sys, core::IvrTopology::SwitchedCapacitor, 4, spec))
+          .write_canonical();
 
   std::vector<ScalePoint> points;
   for (unsigned n : counts) {
@@ -107,9 +134,17 @@ int main(int argc, char** argv) {
     ScalePoint p;
     p.threads = n;
     std::vector<core::DseResult> got;
+    std::string scenario_got;
     p.explore_s = time_best(kReps, [&] { got = core::explore(sys); });
     p.two_stage_s = time_best(kReps, [&] { (void)core::optimize_two_stage(sys, 4); });
-    p.identical_to_serial = identical(reference, got);
+    p.scenario_s = time_best(kReps, [&] {
+      scenario_got = scenario::to_json(scenario::evaluate_scenario(
+                                           sys, core::IvrTopology::SwitchedCapacitor, 4, spec))
+                         .write_canonical();
+    });
+    const double n_cells = static_cast<double>(spec.states.size() * spec.domains.size());
+    p.scenario_cells_per_s = n_cells / p.scenario_s;
+    p.identical_to_serial = identical(reference, got) && scenario_got == scenario_ref;
     points.push_back(p);
   }
   par::set_global_threads(1);
@@ -117,12 +152,15 @@ int main(int argc, char** argv) {
   const double serial_explore = points.front().explore_s;
   const double serial_two_stage = points.front().two_stage_s;
 
-  TextTable table({"threads", "explore()", "speedup", "two-stage", "speedup", "identical"});
+  TextTable table({"threads", "explore()", "speedup", "two-stage", "speedup", "scenario",
+                   "cells/s", "identical"});
   for (const ScalePoint& p : points) {
     table.add_row({std::to_string(p.threads), TextTable::si(p.explore_s, "s"),
                    TextTable::num(serial_explore / p.explore_s, 2),
                    TextTable::si(p.two_stage_s, "s"),
                    TextTable::num(serial_two_stage / p.two_stage_s, 2),
+                   TextTable::si(p.scenario_s, "s"),
+                   TextTable::num(p.scenario_cells_per_s, 1),
                    p.identical_to_serial ? "yes" : "NO"});
   }
   std::printf("%s\n", table.render().c_str());
@@ -153,9 +191,11 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "    {\"threads\": %u, \"explore_s\": %.6e, \"explore_speedup\": %.3f, "
                  "\"two_stage_s\": %.6e, \"two_stage_speedup\": %.3f, "
+                 "\"scenario_s\": %.6e, \"scenario_cells_per_s\": %.3f, "
                  "\"identical_to_serial\": %s}%s\n",
                  p.threads, p.explore_s, serial_explore / p.explore_s, p.two_stage_s,
-                 serial_two_stage / p.two_stage_s, p.identical_to_serial ? "true" : "false",
+                 serial_two_stage / p.two_stage_s, p.scenario_s, p.scenario_cells_per_s,
+                 p.identical_to_serial ? "true" : "false",
                  i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -26,10 +26,10 @@ int main() {
   std::printf("IVR: %s, %d-way interleaved, f_sw %.0f MHz\n\n", ivr.label.c_str(),
               ivr.n_interleave, ivr.f_sw_hz / 1e6);
 
-  // DVFS schedule: 1.0 V / 1.0 GHz -> 0.85 V / 0.7 GHz at 20 us -> back at 40 us.
-  const workload::DvfsSchedule schedule({{0.0, 1.00, 1.0e9},
-                                         {20e-6, 0.85, 0.7e9},
-                                         {40e-6, 1.00, 1.0e9}});
+  // DVFS schedule from the scenario engine's "gpu-dvfs-step" residency
+  // preset: 1.0 V / 1.0 GHz -> 0.85 V / 0.7 GHz at 20 us -> back at 40 us.
+  const workload::DvfsSchedule schedule = workload::down_and_back_schedule(
+      workload::residency_preset("gpu-dvfs-step"), 20e-6);
   const workload::DigitalLoadModel load =
       workload::DigitalLoadModel::from_average_power(5.0, 1.0, 1e9, 0.2);
 
@@ -52,7 +52,8 @@ int main() {
   // segments back to back, carrying the load trace through.
   std::printf("%-12s %-10s %-10s %-12s %-10s\n", "segment", "target V", "mean V", "noise p-p",
               "mean I");
-  const double seg_bounds[4] = {0.0, 20e-6, 40e-6, duration};
+  const double seg_bounds[4] = {schedule.points()[0].t_s, schedule.points()[1].t_s,
+                                schedule.points()[2].t_s, duration};
   for (int seg = 0; seg < 3; ++seg) {
     const std::size_t k0 = static_cast<std::size_t>(seg_bounds[seg] / dt);
     const std::size_t k1 = static_cast<std::size_t>(seg_bounds[seg + 1] / dt);

@@ -1,0 +1,48 @@
+// Static model of discrete-time all-digital low-dropout regulators.
+//
+// Follows the all-digital discrete-time LDO studies in PAPERS.md: a unary
+// pass-transistor array (2^bits segments) driven by a counter, sampled by a
+// clocked bang-bang comparator at f_clk. Time-interleaving N comparator
+// slices multiplies the effective decision rate to N * f_clk, shrinking both
+// the limit-cycle ripple and the full-scale response time by 1/N at the cost
+// of extra comparator/controller power. Like the analog LDO, conversion
+// efficiency is pinned by physics at eta <= Vout/Vin.
+#pragma once
+
+#include "core/blocks.hpp"
+#include "tech/tech.hpp"
+
+namespace ivory::core {
+
+struct DldoDesign {
+  tech::Node node = tech::Node::n32;
+  tech::CapKind cap_kind = tech::CapKind::MosCap;
+  double w_pass_m = 0.0;       ///< Total pass-device width.
+  int n_bits = 7;              ///< Pass-array quantization (unary segments = 2^bits).
+  double f_clk_hz = 0.0;       ///< Per-comparator sample clock.
+  int n_comparators = 1;       ///< Time-interleaved comparator slices.
+  double c_out_f = 0.0;        ///< Output capacitance.
+  double i_quiescent_a = 0.0;  ///< Reference + bias current.
+};
+
+struct DldoAnalysis {
+  double vin_v = 0.0, vout_v = 0.0, i_load_a = 0.0;
+  double dropout_v = 0.0;       ///< Minimum achievable Vin - Vout at this load.
+  double i_lsb_a = 0.0;         ///< Current of one pass segment at this dropout.
+  double current_efficiency = 0.0;
+  double efficiency = 0.0;
+  double p_out_w = 0.0;
+  double p_pass_w = 0.0;        ///< (Vin - Vout) * I: the fundamental LDO loss.
+  double p_quiescent_w = 0.0;
+  double p_peripheral_w = 0.0;  ///< Comparator slices + counter + clocking.
+  double p_in_w = 0.0;
+  double ripple_pp_v = 0.0;     ///< Limit-cycle ripple at the interleaved rate.
+  double t_response_s = 0.0;    ///< Full-scale code traversal (0 -> 2^bits LSB steps).
+  double area_m2 = 0.0;
+};
+
+/// Evaluates the digital LDO at (vin -> vout, i_load). Throws when the pass
+/// array cannot support the load at the commanded dropout.
+DldoAnalysis analyze_dldo(const DldoDesign& d, double vin_v, double vout_v, double i_load_a);
+
+}  // namespace ivory::core

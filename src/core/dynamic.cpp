@@ -231,6 +231,52 @@ DynWaveform ldo_cycle_response(const LdoDesign& d, double vin_v, double vref_v,
   return out;
 }
 
+DynWaveform dldo_cycle_response(const DldoDesign& d, double vin_v, double vref_v,
+                                const std::vector<double>& i_load, double dt_s) {
+  check_trace(i_load, dt_s);
+  require(vin_v > 0.0 && vref_v > 0.0 && vref_v < vin_v,
+          "dldo_cycle_response: need 0 < vref < vin");
+  require(d.n_comparators >= 1, "dldo_cycle_response: need at least one comparator");
+
+  const tech::SwitchTech& core_dev = tech::switch_tech(d.node, tech::DeviceClass::Core);
+  const tech::SwitchTech& dev = vin_v > core_dev.vmax_v
+                                    ? tech::switch_tech(d.node, tech::DeviceClass::Io)
+                                    : core_dev;
+  const double g_full = 1.0 / dev.ron(d.w_pass_m);
+  const double segments = std::pow(2.0, d.n_bits);
+  // Time-interleaved comparator slices fire round-robin: one code decision
+  // every 1 / (n_comp * f_clk).
+  const double t = 1.0 / (static_cast<double>(d.n_comparators) * d.f_clk_hz);
+
+  const double t_end = static_cast<double>(i_load.size()) * dt_s;
+  const std::size_t n_cycles = static_cast<std::size_t>(t_end / t) + 1;
+  const WindowMean load_mean(i_load, dt_s);
+
+  std::vector<double> times, values;
+  double v = vref_v + fault::inject("cycle_model");
+  // Start with the code that carries the initial load.
+  const double i0 = load_mean.over_cycle(0, t);
+  double code = std::clamp(i0 / ((vin_v - v) * g_full) * segments, 0.0, segments);
+  times.push_back(0.0);
+  values.push_back(v);
+
+  for (std::size_t k = 0; k < n_cycles; ++k) {
+    const double t0 = static_cast<double>(k) * t;
+    const double i_out = load_mean.over_cycle(k, t);
+    code = std::clamp(code + (v < vref_v ? 1.0 : -1.0), 0.0, segments);
+    const double i_pass = (code / segments) * g_full * std::max(vin_v - v, 0.0);
+    v += t * (i_pass - i_out) / d.c_out_f;
+    times.push_back(t0 + t);
+    values.push_back(v);
+  }
+
+  DynWaveform out;
+  out.dt_s = dt_s;
+  out.v = resample(times, values, dt_s, i_load.size());
+  check_finite(out.v, "dldo_cycle_response: output waveform");
+  return out;
+}
+
 std::vector<double> in_cycle_response(const std::vector<double>& i_load, double dt_s,
                                       double t_cycle_s, double c_hf_f) {
   check_trace(i_load, dt_s);
@@ -301,6 +347,13 @@ DynWaveform ldo_combined_response(const LdoDesign& d, double vin_v, double vref_
                                   const std::vector<double>& i_load, double dt_s) {
   DynWaveform base = ldo_cycle_response(d, vin_v, vref_v, i_load, dt_s);
   return add_in_cycle(std::move(base), i_load, dt_s, 1.0 / d.f_clk_hz, d.c_out_f);
+}
+
+DynWaveform dldo_combined_response(const DldoDesign& d, double vin_v, double vref_v,
+                                   const std::vector<double>& i_load, double dt_s) {
+  DynWaveform base = dldo_cycle_response(d, vin_v, vref_v, i_load, dt_s);
+  const double t_dec = 1.0 / (static_cast<double>(d.n_comparators) * d.f_clk_hz);
+  return add_in_cycle(std::move(base), i_load, dt_s, t_dec, d.c_out_f);
 }
 
 // ---------------------------------------------------------------------------

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/buck_model.hpp"
+#include "core/dldo_model.hpp"
 #include "core/ldo_model.hpp"
 #include "core/sc_model.hpp"
 
@@ -127,6 +128,12 @@ DynWaveform buck_cycle_response(const BuckDesign& d, double vin_v, double vref_v
 DynWaveform ldo_cycle_response(const LdoDesign& d, double vin_v, double vref_v,
                                const std::vector<double>& i_load_a, double dt_s);
 
+/// Cycle-by-cycle discrete-time digital-LDO response with time-interleaved
+/// comparators: one bang-bang code step per decision interval
+/// 1 / (n_comparators * f_clk).
+DynWaveform dldo_cycle_response(const DldoDesign& d, double vin_v, double vref_v,
+                                const std::vector<double>& i_load_a, double dt_s);
+
 /// In-cycle response: the voltage deviation caused by within-cycle load
 /// current variation on the high-frequency output capacitance `c_hf_f`.
 /// Deviations are integrated per converter cycle `t_cycle_s` (the cycle
@@ -151,6 +158,10 @@ DynWaveform buck_combined_response(const BuckDesign& d, double vin_v, double vre
 /// Combined cycle + in-cycle LDO waveform.
 DynWaveform ldo_combined_response(const LdoDesign& d, double vin_v, double vref_v,
                                   const std::vector<double>& i_load_a, double dt_s);
+
+/// Combined cycle + in-cycle digital-LDO waveform.
+DynWaveform dldo_combined_response(const DldoDesign& d, double vin_v, double vref_v,
+                                   const std::vector<double>& i_load_a, double dt_s);
 
 // ---------------------------------------------------------------------------
 // Frequency-domain noise transfer (paper eqs. (3)-(5))

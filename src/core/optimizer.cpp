@@ -21,6 +21,7 @@ const char* topology_name(IvrTopology t) {
     case IvrTopology::SwitchedCapacitor: return "SC";
     case IvrTopology::Buck: return "buck";
     case IvrTopology::LinearRegulator: return "LDO";
+    case IvrTopology::DigitalLdo: return "DLDO";
   }
   return "?";
 }
@@ -392,6 +393,84 @@ DseResult optimize_ldo(const SystemParams& sys, int n_dist, SweepReport& report)
   return r;
 }
 
+// --- Digital LDO -------------------------------------------------------------
+
+DseResult optimize_dldo(const SystemParams& sys, int n_dist, SweepReport& report) {
+  const double area_ivr = sys.area_max_m2 / n_dist;
+  const double i_ivr = sys.p_load_w / sys.vout_v / n_dist;
+  const tech::CapacitorTech cap = tech::capacitor_tech(sys.node, sys.cap_kind);
+  const tech::SwitchTech& core_dev = tech::switch_tech(sys.node, tech::DeviceClass::Core);
+  const tech::SwitchTech& dev = sys.vin_v > core_dev.vmax_v
+                                    ? tech::switch_tech(sys.node, tech::DeviceClass::Io)
+                                    : core_dev;
+
+  DseResult bestr;
+  bestr.topology = IvrTopology::DigitalLdo;
+  bestr.n_distributed = n_dist;
+
+  // Quantization and interleaving trade ripple against comparator power:
+  // more bits shrink the LSB current, more comparator slices raise the
+  // decision rate — either way the limit cycle gets smaller while the
+  // peripheral clock tree burns more. Sweep the small grid under quarantine.
+  std::vector<std::pair<int, int>> grid;
+  for (int bits : {6, 7, 8, 9})
+    for (int n_comp : {1, 2, 4, 8}) grid.emplace_back(bits, n_comp);
+
+  const std::vector<EvalOutcome<DseResult>> grid_best =
+      par::parallel_map<EvalOutcome<DseResult>>(grid.size(), [&](std::size_t gi) {
+        const auto& [bits, n_comp] = grid[gi];
+        const std::string candidate = "DLDO " + std::to_string(bits) + "b x" +
+                                      std::to_string(n_comp) + " @ dist " +
+                                      std::to_string(n_dist);
+        return quarantine("optimize_dldo", candidate, [&, bits, n_comp]() -> DseResult {
+          DseResult r;
+          r.topology = IvrTopology::DigitalLdo;
+          r.n_distributed = n_dist;
+
+          DldoDesign d;
+          d.node = sys.node;
+          d.cap_kind = sys.cap_kind;
+          d.n_bits = bits;
+          d.n_comparators = n_comp;
+          // Pass array sized so the fully-on drop is 20% of the headroom;
+          // half the area goes to output decap (mirrors the analog LDO).
+          const double r_pass = 0.2 * (sys.vin_v - sys.vout_v) / i_ivr;
+          d.w_pass_m = dev.ron_w_ohm_m / r_pass;
+          d.c_out_f = 0.5 * area_ivr / 1.15 * cap.density_f_m2;
+          // Per-slice clock chosen so the *interleaved* decision rate hits
+          // the ripple budget with one-LSB limit cycling, but never so slow
+          // that a full-scale code walk (2^bits decisions) takes longer than
+          // 1 us — the counter's slew limit, not the ripple, is what lets
+          // the loop track load steps.
+          const double segments = std::pow(2.0, bits);
+          const double i_lsb = (sys.vin_v - sys.vout_v) / r_pass / segments;
+          const double f_ripple =
+              i_lsb / (0.8 * sys.ripple_max_v * d.c_out_f * static_cast<double>(n_comp));
+          const double f_slew = segments / (1e-6 * static_cast<double>(n_comp));
+          d.f_clk_hz = std::clamp(std::max(f_ripple, f_slew), 10e6, 3e9);
+          d.i_quiescent_a = 0.002 * i_ivr;
+
+          try {
+            const DldoAnalysis a = analyze_dldo(d, sys.vin_v, sys.vout_v, i_ivr);
+            r.feasible = a.ripple_pp_v <= sys.ripple_max_v && a.area_m2 <= area_ivr * 1.05;
+            r.efficiency = a.efficiency;
+            r.ripple_pp_v = a.ripple_pp_v;
+            r.f_sw_hz = d.f_clk_hz;
+            r.area_m2 = a.area_m2 * n_dist;
+            r.n_interleave = n_comp;
+            r.dldo = d;
+            r.label = "DLDO x" + std::to_string(n_comp);
+          } catch (const InvalidParameter&) {
+            // Domain rejection (pass array too narrow): the grid point stays
+            // in the sweep as infeasible; real faults propagate to the
+            // quarantine.
+          }
+          return r;
+        });
+      });
+  return reduce_best(collect_survivors("optimize_dldo", grid_best, report), std::move(bestr));
+}
+
 // Dispatch shared by the public entry point and the quarantined sweeps.
 // check_sys/range validation stays with the public wrappers: user-input
 // errors are not candidate faults and must keep throwing InvalidParameter.
@@ -406,6 +485,7 @@ DseResult optimize_topology_impl(const SystemParams& sys, IvrTopology topo, int 
     case IvrTopology::SwitchedCapacitor: return optimize_sc(s, n_distributed, report);
     case IvrTopology::Buck: return optimize_buck(s, n_distributed, report);
     case IvrTopology::LinearRegulator: return optimize_ldo(s, n_distributed, report);
+    case IvrTopology::DigitalLdo: return optimize_dldo(s, n_distributed, report);
   }
   throw InvalidParameter("optimize_topology: unknown topology");
 }
@@ -442,7 +522,7 @@ std::vector<DseResult> explore(const SystemParams& sys, OptTarget target, SweepR
   // run inside a pool task and stay serial (nested-region rejection).
   std::vector<std::pair<IvrTopology, int>> points;
   for (IvrTopology topo : {IvrTopology::SwitchedCapacitor, IvrTopology::Buck,
-                           IvrTopology::LinearRegulator}) {
+                           IvrTopology::LinearRegulator, IvrTopology::DigitalLdo}) {
     for (int n = 1; n <= sys.max_distributed; n *= 2) points.emplace_back(topo, n);
   }
 

@@ -19,12 +19,13 @@
 
 #include "common/outcome.hpp"
 #include "core/buck_model.hpp"
+#include "core/dldo_model.hpp"
 #include "core/ldo_model.hpp"
 #include "core/sc_model.hpp"
 
 namespace ivory::core {
 
-enum class IvrTopology { SwitchedCapacitor, Buck, LinearRegulator };
+enum class IvrTopology { SwitchedCapacitor, Buck, LinearRegulator, DigitalLdo };
 const char* topology_name(IvrTopology t);
 
 enum class OptTarget { Efficiency, Area, Noise };
@@ -48,7 +49,7 @@ struct SystemParams {
 /// One explored/optimized design point.
 struct DseResult {
   IvrTopology topology = IvrTopology::SwitchedCapacitor;
-  std::string label;          ///< e.g. "3:1 SC", "buck", "LDO".
+  std::string label;          ///< e.g. "3:1 SC", "buck", "LDO", "DLDO x4".
   int n_distributed = 1;
   bool feasible = false;
   double efficiency = 0.0;
@@ -60,6 +61,7 @@ struct DseResult {
   ScDesign sc{};
   BuckDesign buck{};
   LdoDesign ldo{};
+  DldoDesign dldo{};
 };
 
 /// Optimizes one topology family for `n_distributed` IVRs sharing the load

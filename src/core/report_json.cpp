@@ -83,6 +83,19 @@ Value to_json(const LdoDesign& d) {
   return Value(std::move(o));
 }
 
+Value to_json(const DldoDesign& d) {
+  Value::Object o;
+  o.emplace_back("node", tech::node_name(d.node));
+  o.emplace_back("cap", tech::cap_kind_name(d.cap_kind));
+  o.emplace_back("wpass", d.w_pass_m);
+  o.emplace_back("bits", d.n_bits);
+  o.emplace_back("fclk", d.f_clk_hz);
+  o.emplace_back("ncomp", d.n_comparators);
+  o.emplace_back("cout", d.c_out_f);
+  o.emplace_back("iq", d.i_quiescent_a);
+  return Value(std::move(o));
+}
+
 Value to_json(const ScAnalysis& a) {
   Value::Object o;
   o.emplace_back("vin_v", a.vin_v);
@@ -160,6 +173,26 @@ Value to_json(const LdoAnalysis& a) {
   return Value(std::move(o));
 }
 
+Value to_json(const DldoAnalysis& a) {
+  Value::Object o;
+  o.emplace_back("vin_v", a.vin_v);
+  o.emplace_back("vout_v", a.vout_v);
+  o.emplace_back("i_load_a", a.i_load_a);
+  o.emplace_back("dropout_v", a.dropout_v);
+  o.emplace_back("i_lsb_a", a.i_lsb_a);
+  o.emplace_back("current_efficiency", a.current_efficiency);
+  o.emplace_back("efficiency", a.efficiency);
+  o.emplace_back("p_out_w", a.p_out_w);
+  o.emplace_back("p_pass_w", a.p_pass_w);
+  o.emplace_back("p_quiescent_w", a.p_quiescent_w);
+  o.emplace_back("p_peripheral_w", a.p_peripheral_w);
+  o.emplace_back("p_in_w", a.p_in_w);
+  o.emplace_back("ripple_pp_v", a.ripple_pp_v);
+  o.emplace_back("t_response_s", a.t_response_s);
+  o.emplace_back("area_m2", a.area_m2);
+  return Value(std::move(o));
+}
+
 Value to_json(const DseResult& r) {
   Value::Object o;
   o.emplace_back("topology", topology_name(r.topology));
@@ -175,6 +208,7 @@ Value to_json(const DseResult& r) {
     case IvrTopology::SwitchedCapacitor: o.emplace_back("design", to_json(r.sc)); break;
     case IvrTopology::Buck: o.emplace_back("design", to_json(r.buck)); break;
     case IvrTopology::LinearRegulator: o.emplace_back("design", to_json(r.ldo)); break;
+    case IvrTopology::DigitalLdo: o.emplace_back("design", to_json(r.dldo)); break;
   }
   return Value(std::move(o));
 }

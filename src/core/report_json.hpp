@@ -36,11 +36,13 @@ const char* sc_family_name(ScFamily f);
 json::Value to_json(const ScDesign& d);
 json::Value to_json(const BuckDesign& d);
 json::Value to_json(const LdoDesign& d);
+json::Value to_json(const DldoDesign& d);
 
 json::Value to_json(const ScAnalysis& a);
 json::Value to_json(const ScRegulated& r);
 json::Value to_json(const BuckAnalysis& a);
 json::Value to_json(const LdoAnalysis& a);
+json::Value to_json(const DldoAnalysis& a);
 
 /// Includes the concrete per-topology design ("design" member) so a client
 /// can feed an optimizer result straight back into a static or transient

@@ -175,6 +175,19 @@ core::LdoDesign ldo_design_from(FieldReader& r) {
   return d;
 }
 
+core::DldoDesign dldo_design_from(FieldReader& r) {
+  core::DldoDesign d;
+  d.node = node_from(r);
+  d.cap_kind = cap_kind_from(r, r.str("cap", "mos"));
+  d.w_pass_m = r.num("wpass", 0.05);
+  d.n_bits = r.integer("bits", 7);
+  d.f_clk_hz = r.num("fclk", 500e6);
+  d.n_comparators = r.integer("ncomp", 1);
+  d.c_out_f = r.num("cout", 0.5e-6);
+  d.i_quiescent_a = r.num("iq", 1e-3);
+  return d;
+}
+
 workload::Benchmark benchmark_from(FieldReader& r, const std::string& s) {
   for (const workload::Benchmark b : workload::kAllBenchmarks)
     if (s == workload::benchmark_name(b)) return b;
@@ -188,8 +201,10 @@ const char* op_name(Op op) {
     case Op::ScStatic: return "sc_static";
     case Op::BuckStatic: return "buck_static";
     case Op::LdoStatic: return "ldo_static";
+    case Op::DldoStatic: return "dldo_static";
     case Op::Explore: return "explore";
     case Op::Optimize: return "optimize";
+    case Op::ScenarioEval: return "scenario_eval";
     case Op::Pds: return "pds";
     case Op::Transient: return "transient";
     case Op::Stats: return "stats";
@@ -199,12 +214,13 @@ const char* op_name(Op op) {
 }
 
 Op op_from_string(const std::string& name) {
-  for (const Op op : {Op::ScStatic, Op::BuckStatic, Op::LdoStatic, Op::Explore, Op::Optimize,
-                      Op::Pds, Op::Transient, Op::Stats, Op::Metrics})
+  for (const Op op : {Op::ScStatic, Op::BuckStatic, Op::LdoStatic, Op::DldoStatic, Op::Explore,
+                      Op::Optimize, Op::ScenarioEval, Op::Pds, Op::Transient, Op::Stats,
+                      Op::Metrics})
     if (name == op_name(op)) return op;
-  throw InvalidParameter(
-      "unknown op '" + name +
-      "' (sc_static|buck_static|ldo_static|explore|optimize|pds|transient|stats|metrics)");
+  throw InvalidParameter("unknown op '" + name +
+                         "' (sc_static|buck_static|ldo_static|dldo_static|explore|optimize|"
+                         "scenario_eval|pds|transient|stats|metrics)");
 }
 
 Request parse_request(const json::Value& root) {
@@ -275,6 +291,18 @@ LdoStaticParams ldo_static_params(const json::Value& body) {
   return p;
 }
 
+DldoStaticParams dldo_static_params(const json::Value& body) {
+  FieldReader r(body, "dldo_static");
+  r.get("op");
+  DldoStaticParams p;
+  p.design = dldo_design_from(r);
+  p.vin_v = r.num("vin", p.vin_v);
+  p.vout_v = r.num("vout", p.vout_v);
+  p.i_load_a = r.num("iload", p.i_load_a);
+  r.finish();
+  return p;
+}
+
 ExploreParams explore_params(const json::Value& body) {
   FieldReader r(body, "explore");
   r.get("op");
@@ -300,8 +328,93 @@ OptimizeParams optimize_params(const json::Value& body) {
   if (t == "sc") p.topology = core::IvrTopology::SwitchedCapacitor;
   else if (t == "buck") p.topology = core::IvrTopology::Buck;
   else if (t == "ldo") p.topology = core::IvrTopology::LinearRegulator;
+  else if (t == "dldo") p.topology = core::IvrTopology::DigitalLdo;
   else if (t == "two_stage") p.two_stage = true;
-  else r.fail("topology", "unknown topology '" + t + "' (sc|buck|ldo|two_stage)");
+  else r.fail("topology", "unknown topology '" + t + "' (sc|buck|ldo|dldo|two_stage)");
+  r.finish();
+  return p;
+}
+
+ScenarioEvalParams scenario_eval_params(const json::Value& body) {
+  FieldReader r(body, "scenario_eval");
+  r.get("op");
+  ScenarioEvalParams p;
+  p.sys = system_from(r);
+  p.n_distributed = r.integer("dist", p.n_distributed);
+  if (p.n_distributed < 1) r.fail("dist", "must be >= 1");
+  const std::string t = r.str("topology", "sc");
+  if (t == "sc") p.topology = core::IvrTopology::SwitchedCapacitor;
+  else if (t == "buck") p.topology = core::IvrTopology::Buck;
+  else if (t == "ldo") p.topology = core::IvrTopology::LinearRegulator;
+  else if (t == "dldo") p.topology = core::IvrTopology::DigitalLdo;
+  else r.fail("topology", "unknown topology '" + t + "' (sc|buck|ldo|dldo)");
+
+  const json::Value* preset = r.get("preset");
+  const json::Value* states = r.get("states");
+  if ((preset != nullptr) == (states != nullptr))
+    throw InvalidParameter("scenario_eval: exactly one of 'preset' (residency preset name) or "
+                           "'states' (inline state array) is required");
+  if (preset) {
+    if (!preset->is_string()) r.fail("preset", "expected a residency preset name");
+    try {
+      p.spec.states = workload::residency_preset(preset->as_string());
+    } catch (const std::exception& e) {
+      r.fail("preset", e.what());
+    }
+    p.spec.name = preset->as_string();
+  } else {
+    if (!states->is_array() || states->as_array().empty())
+      r.fail("states", "expected a non-empty array of state objects");
+    p.spec.states.clear();
+    for (std::size_t i = 0; i < states->as_array().size(); ++i) {
+      const json::Value& sv = states->as_array()[i];
+      if (!sv.is_object()) r.fail("states", "expected state objects");
+      FieldReader sr(sv, "scenario_eval.states[" + std::to_string(i) + "]");
+      workload::PowerStateSpec st;
+      st.name = sr.str("name", "state" + std::to_string(i));
+      st.v_v = sr.num("v", 0.0);
+      st.f_hz = sr.num("f", 0.0);
+      st.activity = sr.num("activity", st.activity);
+      st.residency = sr.num("residency", st.residency);
+      st.gated = sr.boolean("gated", st.gated);
+      sr.finish();
+      p.spec.states.push_back(std::move(st));
+    }
+    p.spec.name = r.str("name", p.spec.name);
+  }
+
+  if (const json::Value* domains = r.get("domains")) {
+    if (!domains->is_array() || domains->as_array().empty())
+      r.fail("domains", "expected a non-empty array of domain objects");
+    p.spec.domains.clear();
+    for (std::size_t i = 0; i < domains->as_array().size(); ++i) {
+      const json::Value& dv = domains->as_array()[i];
+      if (!dv.is_object()) r.fail("domains", "expected domain objects");
+      FieldReader dr(dv, "scenario_eval.domains[" + std::to_string(i) + "]");
+      scenario::DomainSpec dom;
+      dom.name = dr.str("name", "dom" + std::to_string(i));
+      dom.power_frac = dr.num("power_frac", dom.power_frac);
+      const std::string del = dr.str("delivery", scenario::delivery_name(dom.delivery));
+      try {
+        dom.delivery = scenario::delivery_from_string(del);
+      } catch (const std::exception& e) {
+        dr.fail("delivery", e.what());
+      }
+      dom.benchmark = benchmark_from(dr, dr.str("benchmark", workload::benchmark_name(dom.benchmark)));
+      dr.finish();
+      p.spec.domains.push_back(std::move(dom));
+    }
+  }
+
+  p.spec.f_nom_hz = r.num("f_nom", p.spec.f_nom_hz);
+  if (!(p.spec.f_nom_hz > 0.0)) r.fail("f_nom", "must be > 0");
+  p.spec.duration_s = r.num("duration", p.spec.duration_s);
+  if (!(p.spec.duration_s > 0.0)) r.fail("duration", "must be > 0");
+  p.spec.dt_s = r.num("dt", p.spec.dt_s);
+  if (!(p.spec.dt_s > 0.0)) r.fail("dt", "must be > 0");
+  const int seed = r.integer("seed", static_cast<int>(p.spec.seed));
+  if (seed < 0) r.fail("seed", "must be >= 0");
+  p.spec.seed = static_cast<std::uint64_t>(seed);
   r.finish();
   return p;
 }
@@ -328,8 +441,9 @@ TransientParams transient_params(const json::Value& body) {
   if (topo == "sc") p.kind = TransientParams::Kind::Sc;
   else if (topo == "buck") p.kind = TransientParams::Kind::Buck;
   else if (topo == "ldo") p.kind = TransientParams::Kind::Ldo;
+  else if (topo == "dldo") p.kind = TransientParams::Kind::Dldo;
   else if (topo == "spice") p.kind = TransientParams::Kind::Spice;
-  else r.fail("topology", "unknown topology '" + topo + "' (sc|buck|ldo|spice)");
+  else r.fail("topology", "unknown topology '" + topo + "' (sc|buck|ldo|dldo|spice)");
 
   if (p.kind == TransientParams::Kind::Spice) {
     // Switch-level engine: an inline netlist instead of a design object;
@@ -380,6 +494,8 @@ TransientParams transient_params(const json::Value& body) {
       case TransientParams::Kind::Sc: p.sc = sc_design_from(dr); break;
       case TransientParams::Kind::Buck: p.buck = buck_design_from(dr); break;
       case TransientParams::Kind::Ldo: p.ldo = ldo_design_from(dr); break;
+      case TransientParams::Kind::Dldo: p.dldo = dldo_design_from(dr); break;
+      case TransientParams::Kind::Spice: break;  // handled above
     }
     dr.finish();
   }

@@ -26,20 +26,23 @@
 
 #include "common/json.hpp"
 #include "core/optimizer.hpp"
+#include "scenario/scenario.hpp"
 #include "workload/workload.hpp"
 
 namespace ivory::serve {
 
 enum class Op {
-  ScStatic,    ///< analyze one SC design (optionally regulated)
-  BuckStatic,  ///< analyze one buck design
-  LdoStatic,   ///< analyze one LDO design
-  Explore,     ///< full topology x distribution sweep
-  Optimize,    ///< optimize one topology family (or a two-stage cascade)
-  Pds,         ///< end-to-end PDS composition, off-chip VRM vs IVR
-  Transient,   ///< dynamic waveform summary for a workload trace
-  Stats,       ///< service counters (never cached)
-  Metrics,     ///< process metrics-registry snapshot (never cached)
+  ScStatic,      ///< analyze one SC design (optionally regulated)
+  BuckStatic,    ///< analyze one buck design
+  LdoStatic,     ///< analyze one LDO design
+  DldoStatic,    ///< analyze one discrete-time digital LDO design
+  Explore,       ///< full topology x distribution sweep
+  Optimize,      ///< optimize one topology family (or a two-stage cascade)
+  ScenarioEval,  ///< residency-weighted power-state scenario evaluation
+  Pds,           ///< end-to-end PDS composition, off-chip VRM vs IVR
+  Transient,     ///< dynamic waveform summary for a workload trace
+  Stats,         ///< service counters (never cached)
+  Metrics,       ///< process metrics-registry snapshot (never cached)
 };
 
 const char* op_name(Op op);
@@ -90,6 +93,14 @@ struct LdoStaticParams {
 };
 LdoStaticParams ldo_static_params(const json::Value& body);
 
+struct DldoStaticParams {
+  core::DldoDesign design;
+  double vin_v = 1.2;
+  double vout_v = 1.0;
+  double i_load_a = 10.0;
+};
+DldoStaticParams dldo_static_params(const json::Value& body);
+
 struct ExploreParams {
   core::SystemParams sys;
   core::OptTarget target = core::OptTarget::Efficiency;
@@ -113,12 +124,25 @@ struct PdsParams {
 };
 PdsParams pds_params(const json::Value& body);
 
+/// Scenario body: system fields (like optimize) + exactly one of "preset"
+/// (a workload::residency_preset name) or "states" (inline array of state
+/// objects), optional "domains" for hybrid delivery, "topology" and "dist"
+/// for the IVR design.
+struct ScenarioEvalParams {
+  core::SystemParams sys;
+  core::IvrTopology topology = core::IvrTopology::SwitchedCapacitor;
+  int n_distributed = 4;
+  scenario::ScenarioSpec spec;
+};
+ScenarioEvalParams scenario_eval_params(const json::Value& body);
+
 struct TransientParams {
-  enum class Kind { Sc, Buck, Ldo, Spice };
+  enum class Kind { Sc, Buck, Ldo, Dldo, Spice };
   Kind kind = Kind::Sc;
   core::ScDesign sc;
   core::BuckDesign buck;
   core::LdoDesign ldo;
+  core::DldoDesign dldo;
   double vin_v = 3.3;
   double vref_v = 1.0;
   double dt_s = 2e-9;

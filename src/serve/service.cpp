@@ -9,6 +9,7 @@
 #include "core/dynamic.hpp"
 #include "core/pds.hpp"
 #include "core/report_json.hpp"
+#include "scenario/scenario.hpp"
 #include "spice/parser.hpp"
 
 namespace ivory::serve {
@@ -249,6 +250,13 @@ std::string Service::evaluate(const Request& req) {
                                                                  p.vout_v, p.i_load_a)));
       return Value(std::move(o)).write();
     }
+    case Op::DldoStatic: {
+      const DldoStaticParams p = dldo_static_params(req.body);
+      Value::Object o;
+      o.emplace_back("analysis", core::to_json(core::analyze_dldo(p.design, p.vin_v,
+                                                                  p.vout_v, p.i_load_a)));
+      return Value(std::move(o)).write();
+    }
     case Op::Explore: {
       const ExploreParams p = explore_params(req.body);
       SweepReport report;
@@ -271,6 +279,19 @@ std::string Service::evaluate(const Request& req) {
       else
         o.emplace_back("result", core::to_json(core::optimize_topology(
                                      p.sys, p.topology, p.n_distributed, &report)));
+      o.emplace_back("report", to_json(report));
+      return Value(std::move(o)).write();
+    }
+    case Op::ScenarioEval: {
+      const ScenarioEvalParams p = scenario_eval_params(req.body);
+      // Bound the per-cell trace synthesis by the same budget as transients.
+      require(p.spec.duration_s / p.spec.dt_s <= static_cast<double>(opt_.max_samples),
+              "scenario_eval: duration/dt exceeds the per-request sample budget");
+      SweepReport report;
+      const scenario::ScenarioReport res =
+          scenario::evaluate_scenario(p.sys, p.topology, p.n_distributed, p.spec, &report);
+      Value::Object o;
+      o.emplace_back("scenario", scenario::to_json(res));
       o.emplace_back("report", to_json(report));
       return Value(std::move(o)).write();
     }
@@ -353,6 +374,10 @@ std::string Service::evaluate(const Request& req) {
         case TransientParams::Kind::Ldo:
           w = core::ldo_combined_response(p.ldo, p.vin_v, p.vref_v, i_load, p.dt_s);
           break;
+        case TransientParams::Kind::Dldo:
+          w = core::dldo_combined_response(p.dldo, p.vin_v, p.vref_v, i_load, p.dt_s);
+          break;
+        case TransientParams::Kind::Spice: break;  // handled above
       }
       // Settled statistics skip the first fifth (startup transient), the
       // same warmup convention the CLI's `dynamic` subcommand uses.

@@ -29,9 +29,19 @@ PowerTrace PowerTrace::sum(const std::vector<PowerTrace>& traces) {
   PowerTrace out;
   out.dt_s = traces.front().dt_s;
   out.watts.assign(traces.front().watts.size(), 0.0);
-  for (const PowerTrace& t : traces) {
-    require(t.dt_s == out.dt_s, "PowerTrace::sum: mismatched dt");
-    require(t.watts.size() == out.watts.size(), "PowerTrace::sum: mismatched length");
+  for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+    const PowerTrace& t = traces[ti];
+    // Name the offending trace so a caller mixing generated and file-loaded
+    // traces can tell which input is off (the diagnostics pipeline carries
+    // this message through ErrorCode::InvalidParameter).
+    if (t.dt_s != out.dt_s)
+      throw InvalidParameter("PowerTrace::sum: trace " + std::to_string(ti) + ": dt " +
+                             std::to_string(t.dt_s) + " != " + std::to_string(out.dt_s) +
+                             " of trace 0");
+    if (t.watts.size() != out.watts.size())
+      throw InvalidParameter("PowerTrace::sum: trace " + std::to_string(ti) + ": length " +
+                             std::to_string(t.watts.size()) + " != " +
+                             std::to_string(out.watts.size()) + " of trace 0");
     for (std::size_t i = 0; i < t.watts.size(); ++i) out.watts[i] += t.watts[i];
   }
   return out;
@@ -48,6 +58,18 @@ const char* benchmark_name(Benchmark b) {
     case Benchmark::MGST: return "MGST";
   }
   return "?";
+}
+
+Benchmark benchmark_from_string(const std::string& name) {
+  for (Benchmark b : kAllBenchmarks)
+    if (name == benchmark_name(b)) return b;
+  std::string known;
+  for (Benchmark b : kAllBenchmarks) {
+    if (!known.empty()) known += ", ";
+    known += benchmark_name(b);
+  }
+  throw InvalidParameter("benchmark_from_string: unknown benchmark '" + name + "' (known: " +
+                         known + ")");
 }
 
 TraceStyle benchmark_style(Benchmark b) {
@@ -244,6 +266,70 @@ std::vector<double> power_to_current(const PowerTrace& trace, const DigitalLoadM
     out[i] = load.current(v, load.f_nom_hz, activity);
   }
   return out;
+}
+
+void check_power_states(const std::vector<PowerStateSpec>& states) {
+  require(!states.empty(), "check_power_states: need at least one state");
+  double total = 0.0;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const PowerStateSpec& s = states[i];
+    const std::string where = "state " + std::to_string(i) +
+                              (s.name.empty() ? "" : " (" + s.name + ")");
+    require(s.v_v > 0.0 && s.f_hz > 0.0,
+            "check_power_states: " + where + ": v and f must be positive");
+    require(s.activity >= 0.0, "check_power_states: " + where + ": negative activity");
+    require(s.residency >= 0.0, "check_power_states: " + where + ": negative residency");
+    total += s.residency;
+  }
+  require(std::fabs(total - 1.0) <= 1e-9,
+          "check_power_states: residencies sum to " + std::to_string(total) + ", expected 1");
+}
+
+std::vector<PowerStateSpec> residency_preset(const std::string& name) {
+  // V/f points are expressed against the default 1.0 V / 1 GHz nominal of
+  // the case study. "gpu-dvfs-step" encodes exactly the fast-DVFS excursion
+  // of examples/dvfs_transient.cpp (1.00 V / 1 GHz <-> 0.85 V / 0.7 GHz).
+  std::vector<PowerStateSpec> states;
+  if (name == "gpu-dvfs-step") {
+    states = {{"perf", 1.00, 1.0e9, 1.0, 0.65, false},
+              {"eco", 0.85, 0.7e9, 1.0, 0.35, false}};
+  } else if (name == "active-idle") {
+    states = {{"active", 1.00, 1.0e9, 1.0, 0.30, false},
+              {"idle", 0.70, 0.2e9, 0.05, 0.70, true}};
+  } else if (name == "race-to-halt") {
+    states = {{"burst", 1.00, 1.2e9, 1.0, 0.20, false},
+              {"nominal", 0.95, 0.9e9, 0.70, 0.20, false},
+              {"halt", 0.65, 0.1e9, 0.02, 0.60, true}};
+  } else if (name == "server-diurnal") {
+    states = {{"peak", 1.00, 1.1e9, 1.0, 0.35, false},
+              {"typical", 0.92, 0.85e9, 0.60, 0.45, false},
+              {"trough", 0.80, 0.5e9, 0.25, 0.20, false}};
+  } else {
+    std::string known;
+    for (const std::string& n : residency_preset_names())
+      known += (known.empty() ? "" : ", ") + n;
+    throw InvalidParameter("residency_preset: unknown preset '" + name + "' (known: " + known +
+                           ")");
+  }
+  check_power_states(states);
+  return states;
+}
+
+std::vector<std::string> residency_preset_names() {
+  return {"gpu-dvfs-step", "active-idle", "race-to-halt", "server-diurnal"};
+}
+
+DvfsSchedule down_and_back_schedule(const std::vector<PowerStateSpec>& states, double dwell_s) {
+  require(dwell_s > 0.0, "down_and_back_schedule: dwell must be positive");
+  std::vector<DvfsPoint> points;
+  for (const PowerStateSpec& s : states) {
+    if (s.gated) continue;  // A gated state has no DVFS setpoint to dwell on.
+    points.push_back({static_cast<double>(points.size()) * dwell_s, s.v_v, s.f_hz});
+  }
+  require(!points.empty(), "down_and_back_schedule: no non-gated states");
+  points.push_back({static_cast<double>(points.size()) * dwell_s, points.front().v_v,
+                    points.front().f_hz});
+  return DvfsSchedule(std::move(points));
 }
 
 DvfsSchedule::DvfsSchedule(std::vector<DvfsPoint> points) : points_(std::move(points)) {

@@ -40,6 +40,10 @@ constexpr Benchmark kAllBenchmarks[] = {Benchmark::BACKP, Benchmark::BFS2, Bench
 
 const char* benchmark_name(Benchmark b);
 
+/// Inverse of benchmark_name; throws InvalidParameter listing the known
+/// names on a miss.
+Benchmark benchmark_from_string(const std::string& name);
+
 /// Statistical profile of one benchmark's per-SM power behaviour.
 struct TraceStyle {
   double noise_frac;      ///< OU-noise standard deviation / mean.
@@ -93,6 +97,36 @@ struct DigitalLoadModel {
 /// drawn from supply voltage `v` (activity inferred per sample).
 std::vector<double> power_to_current(const PowerTrace& trace, const DigitalLoadModel& load,
                                      double v);
+
+class DvfsSchedule;
+
+/// One named operating point of a power-state residency scenario: a V/f
+/// setpoint, the mean switching activity relative to nominal, the fraction
+/// of time the domain is resident in the state, and whether the domain is
+/// power-gated while resident (gated states draw no useful power).
+struct PowerStateSpec {
+  std::string name;
+  double v_v = 0.0;
+  double f_hz = 0.0;
+  double activity = 1.0;
+  double residency = 0.0;  ///< Fraction of time in this state; sums to 1.
+  bool gated = false;
+};
+
+/// Residencies must be non-negative and sum to 1 (within 1e-9), states
+/// non-empty with positive v/f; throws InvalidParameter naming the offending
+/// state index otherwise.
+void check_power_states(const std::vector<PowerStateSpec>& states);
+
+/// Named residency mixes (FlexWatts-style power-state distributions):
+/// "gpu-dvfs-step", "active-idle", "race-to-halt", "server-diurnal".
+std::vector<PowerStateSpec> residency_preset(const std::string& name);
+std::vector<std::string> residency_preset_names();
+
+/// Piecewise-constant DVFS schedule that dwells `dwell_s` on each non-gated
+/// state in order and then returns to the first: states[0] at t = 0,
+/// states[1] at dwell, ..., states[0] again at n * dwell.
+DvfsSchedule down_and_back_schedule(const std::vector<PowerStateSpec>& states, double dwell_s);
 
 /// A DVFS schedule: piecewise-constant (v, f) setpoints over time.
 struct DvfsPoint {

@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "common/matrix.hpp"
+#include "common/outcome.hpp"
 #include "core/dynamic.hpp"
 #include "core/sc_topology.hpp"
 #include "spice/parser.hpp"
@@ -95,6 +96,44 @@ TEST(ErrorPaths, UnparseableCellRejectedNamingCell) {
     EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
     EXPECT_NE(msg.find("sample 1"), std::string::npos) << msg;
   }
+}
+
+TEST(ErrorPaths, TraceSumMismatchNamesTheOffendingTrace) {
+  // PowerTrace::sum over inconsistent traces must say *which* trace broke
+  // the contract and how, not just that "traces differ".
+  const workload::PowerTrace a{1e-9, {1.0, 2.0, 3.0}};
+  const workload::PowerTrace bad_dt{2e-9, {1.0, 2.0, 3.0}};
+  const workload::PowerTrace bad_len{1e-9, {1.0, 2.0}};
+  try {
+    workload::PowerTrace::sum({a, a, bad_dt});
+    FAIL() << "expected InvalidParameter";
+  } catch (const InvalidParameter& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("trace 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("dt"), std::string::npos) << msg;
+  }
+  try {
+    workload::PowerTrace::sum({a, bad_len});
+    FAIL() << "expected InvalidParameter";
+  } catch (const InvalidParameter& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("trace 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("length"), std::string::npos) << msg;
+  }
+}
+
+TEST(ErrorPaths, TraceSumMismatchIsQuarantinable) {
+  // Inside a sweep the same failure classifies as InvalidParameter with the
+  // trace index preserved in the diagnostics, so a SweepReport names it.
+  const workload::PowerTrace a{1e-9, {1.0, 2.0}};
+  const workload::PowerTrace b{3e-9, {1.0, 2.0}};
+  const EvalOutcome<double> out = quarantine("trace_sum", "mixed traces", [&] {
+    return workload::PowerTrace::sum({a, b}).average();
+  });
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.diagnostics().code, ErrorCode::InvalidParameter);
+  EXPECT_NE(out.diagnostics().detail.find("trace 1"), std::string::npos)
+      << out.diagnostics().detail;
 }
 
 // --- SC topology construction ---------------------------------------------

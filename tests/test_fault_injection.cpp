@@ -149,7 +149,7 @@ TEST_F(FaultInjectionTest, ExploreSurvivesPointLevelFaultsIdenticallyAcrossThrea
   const SystemParams sys;
   core::explore(sys);  // Warm the static-analysis caches before arming.
 
-  // Seeded so a minority (<= 30%) of the nine explore points die; the rest
+  // Seeded so a minority (<= 30%) of the twelve explore points die; the rest
   // of the sweep must come through untouched and identical at 1/2/4 threads.
   fault::arm_probability("optimize_topology", fault::Action::Throw, 0.18, 42);
   const SweepRun r1 = run_explore(1, sys);
@@ -163,9 +163,9 @@ TEST_F(FaultInjectionTest, ExploreSurvivesPointLevelFaultsIdenticallyAcrossThrea
     EXPECT_NE(d.detail.find("fault-injection"), std::string::npos) << d.detail;
     ++point_skips;
   }
-  EXPECT_LE(static_cast<double>(point_skips), 0.30 * 9.0)
-      << "injected failures must stay a minority of the 9 explore points";
-  EXPECT_EQ(r1.results.size() + point_skips, 9u);
+  EXPECT_LE(static_cast<double>(point_skips), 0.30 * 12.0)
+      << "injected failures must stay a minority of the 12 explore points";
+  EXPECT_EQ(r1.results.size() + point_skips, 12u);
 
   const SweepRun r2 = run_explore(2, sys);
   const SweepRun r4 = run_explore(4, sys);
@@ -204,11 +204,11 @@ TEST_F(FaultInjectionTest, AllCandidatesDeadRaisesAggregatedError) {
     EXPECT_EQ(e.dominant().code, ErrorCode::Numerical);
     const std::string msg = e.what();
     EXPECT_NE(msg.find("explore"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("all 9 candidates failed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("all 12 candidates failed"), std::string::npos) << msg;
     EXPECT_NE(msg.find("fault-injection"), std::string::npos) << msg;
   }
   // The report still lists every skip even though the sweep threw.
-  EXPECT_EQ(report.skips.size(), 9u);
+  EXPECT_EQ(report.skips.size(), 12u);
 }
 
 TEST_F(FaultInjectionTest, AllCandidatesNanRaisesNonFiniteDominant) {

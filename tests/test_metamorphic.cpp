@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/buck_model.hpp"
+#include "core/dldo_model.hpp"
 #include "core/ldo_model.hpp"
 #include "core/sc_model.hpp"
 
@@ -190,6 +191,68 @@ TEST(MetamorphicLdo, EfficiencyBoundedByConversionRatio) {
         // And with quiescent overhead it must be strictly below.
         EXPECT_LT(r.efficiency, vout / vin)
             << "quiescent draw vanished at vin=" << vin << " iload=" << i_load;
+      }
+    }
+  }
+}
+
+DldoDesign base_dldo() {
+  DldoDesign d;
+  d.w_pass_m = 0.3;
+  d.n_bits = 7;
+  d.f_clk_hz = 200e6;
+  d.c_out_f = 0.5e-6;
+  d.i_quiescent_a = 1e-3;
+  return d;
+}
+
+TEST(MetamorphicDldo, RippleMonotoneDecreasingInComparatorInterleave) {
+  // Time-interleaved comparator slices multiply the decision rate: the
+  // one-LSB limit cycle dumps i_lsb into c_out for 1/(n_comp * f_clk), so
+  // doubling the slices halves the ripple. Monotone strictly decreasing.
+  const double vin = 1.2, vout = 0.9, i_load = 2.0;
+  double prev = 0.0;
+  for (const int n_comp : {1, 2, 4, 8, 16}) {
+    DldoDesign d = base_dldo();
+    d.n_comparators = n_comp;
+    const DldoAnalysis r = analyze_dldo(d, vin, vout, i_load);
+    if (n_comp > 1)
+      EXPECT_LT(r.ripple_pp_v, prev) << "ripple did not shrink at n_comp=" << n_comp;
+    prev = r.ripple_pp_v;
+    // Exact scaling, not just direction: ripple * n_comp is invariant.
+    const DldoAnalysis one = analyze_dldo(base_dldo(), vin, vout, i_load);
+    EXPECT_NEAR(r.ripple_pp_v * n_comp, one.ripple_pp_v, 1e-15 * n_comp);
+  }
+}
+
+TEST(MetamorphicDldo, ResponseTimeScalesWithCodeDepthOverDecisionRate) {
+  // Full-scale recovery walks all 2^bits codes at the interleaved decision
+  // rate. One more bit doubles it; one more comparator halves it.
+  const double vin = 1.2, vout = 0.9, i_load = 2.0;
+  const DldoAnalysis ref = analyze_dldo(base_dldo(), vin, vout, i_load);
+  DldoDesign deeper = base_dldo();
+  deeper.n_bits += 1;
+  EXPECT_DOUBLE_EQ(analyze_dldo(deeper, vin, vout, i_load).t_response_s,
+                   2.0 * ref.t_response_s);
+  DldoDesign wider = base_dldo();
+  wider.n_comparators = 2;
+  EXPECT_DOUBLE_EQ(analyze_dldo(wider, vin, vout, i_load).t_response_s,
+                   0.5 * ref.t_response_s);
+}
+
+TEST(MetamorphicDldo, EfficiencyBoundedByConversionRatio) {
+  // The pass array is linear: like the analog LDO, eta can never beat
+  // Vout/Vin, and with quiescent + comparator overhead it is strictly below.
+  for (const double vin : {1.0, 1.2, 1.8}) {
+    for (const double ratio : {0.6, 0.75, 0.9}) {
+      const double vout = vin * ratio;
+      for (const double i_load : {0.1, 1.0, 5.0}) {
+        const DldoAnalysis r = analyze_dldo(base_dldo(), vin, vout, i_load);
+        EXPECT_LE(r.efficiency, vout / vin + 1e-12)
+            << "DLDO beat the Vout/Vin bound at vin=" << vin << " vout=" << vout
+            << " iload=" << i_load;
+        EXPECT_LT(r.efficiency, vout / vin)
+            << "overhead vanished at vin=" << vin << " iload=" << i_load;
       }
     }
   }

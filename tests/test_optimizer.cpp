@@ -95,16 +95,18 @@ TEST(Optimizer, DistributionCostsLittleEfficiency) {
 TEST(Optimizer, ExploreCoversAllTopologiesAndCounts) {
   const SystemParams sys;
   const std::vector<DseResult> all = explore(sys);
-  EXPECT_EQ(all.size(), 9u);  // 3 topologies x {1, 2, 4}.
-  int sc = 0, buck = 0, ldo = 0;
+  EXPECT_EQ(all.size(), 12u);  // 4 topologies x {1, 2, 4}.
+  int sc = 0, buck = 0, ldo = 0, dldo = 0;
   for (const DseResult& r : all) {
     if (r.topology == IvrTopology::SwitchedCapacitor) ++sc;
     if (r.topology == IvrTopology::Buck) ++buck;
     if (r.topology == IvrTopology::LinearRegulator) ++ldo;
+    if (r.topology == IvrTopology::DigitalLdo) ++dldo;
   }
   EXPECT_EQ(sc, 3);
   EXPECT_EQ(buck, 3);
   EXPECT_EQ(ldo, 3);
+  EXPECT_EQ(dldo, 3);
 }
 
 TEST(Optimizer, NoiseTargetPrefersLowRipple) {

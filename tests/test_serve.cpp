@@ -102,6 +102,91 @@ TEST(Serve, UnknownAndMistypedFieldsAreNamed) {
   EXPECT_EQ(svc.stats().cache.entries, 0u);
 }
 
+TEST(Serve, DldoStaticSchemaIsStrict) {
+  Service svc;
+  // Unknown member: named in the diagnostic, not silently defaulted.
+  const std::string unknown =
+      svc.handle_line(R"({"op":"dldo_static","id":1,"fclkk":5e8})");
+  EXPECT_FALSE(response_ok(unknown));
+  EXPECT_NE(parsed(unknown).find("error")->find("detail")->as_string().find("fclkk"),
+            std::string::npos);
+
+  // Mistyped member: a fractional comparator count names the field.
+  const std::string mistyped =
+      svc.handle_line(R"({"op":"dldo_static","id":2,"ncomp":2.5})");
+  EXPECT_FALSE(response_ok(mistyped));
+  EXPECT_NE(parsed(mistyped).find("error")->find("detail")->as_string().find("'ncomp'"),
+            std::string::npos);
+  EXPECT_EQ(svc.stats().cache.entries, 0u);
+
+  // The happy path evaluates and reports the TI-comparator ripple division.
+  const std::string ok1 =
+      svc.handle_line(R"({"op":"dldo_static","id":3,"ncomp":1,"iload":2})");
+  const std::string ok4 =
+      svc.handle_line(R"({"op":"dldo_static","id":4,"ncomp":4,"iload":2})");
+  ASSERT_TRUE(response_ok(ok1));
+  ASSERT_TRUE(response_ok(ok4));
+  const double r1 =
+      parsed(ok1).find("result")->find("analysis")->find("ripple_pp_v")->as_number();
+  const double r4 =
+      parsed(ok4).find("result")->find("analysis")->find("ripple_pp_v")->as_number();
+  EXPECT_NEAR(r4, r1 / 4.0, 1e-15);
+}
+
+TEST(Serve, ScenarioEvalSchemaIsStrict) {
+  Service svc;
+  // preset and states are mutually exclusive and one is required.
+  const std::string neither = svc.handle_line(R"({"op":"scenario_eval","id":1})");
+  EXPECT_FALSE(response_ok(neither));
+  EXPECT_NE(parsed(neither).find("error")->find("detail")->as_string().find("exactly one"),
+            std::string::npos);
+  const std::string both = svc.handle_line(
+      R"({"op":"scenario_eval","id":2,"preset":"active-idle","states":[{"name":"a","v":1.0,"f":1e9,"residency":1.0}]})");
+  EXPECT_FALSE(response_ok(both));
+
+  // Unknown member inside a state object: named with its array index.
+  const std::string badstate = svc.handle_line(
+      R"({"op":"scenario_eval","id":3,"states":[{"name":"a","v":1.0,"f":1e9,"residencyy":1.0}]})");
+  EXPECT_FALSE(response_ok(badstate));
+  const std::string detail =
+      parsed(badstate).find("error")->find("detail")->as_string();
+  EXPECT_NE(detail.find("states[0]"), std::string::npos) << detail;
+  EXPECT_NE(detail.find("residencyy"), std::string::npos) << detail;
+
+  // Unknown preset: rejected with the known names.
+  const std::string badpreset =
+      svc.handle_line(R"({"op":"scenario_eval","id":4,"preset":"no-such"})");
+  EXPECT_FALSE(response_ok(badpreset));
+  EXPECT_NE(parsed(badpreset).find("error")->find("detail")->as_string().find("preset"),
+            std::string::npos);
+
+  // Unknown top-level member next to a valid preset.
+  const std::string unknown = svc.handle_line(
+      R"({"op":"scenario_eval","id":5,"preset":"active-idle","topologyy":"sc"})");
+  EXPECT_FALSE(response_ok(unknown));
+  EXPECT_NE(parsed(unknown).find("error")->find("detail")->as_string().find("topologyy"),
+            std::string::npos);
+  EXPECT_EQ(svc.stats().cache.entries, 0u);
+}
+
+TEST(Serve, ScenarioEvalEvaluatesAndCaches) {
+  Service svc;
+  const std::string req =
+      R"({"op":"scenario_eval","id":9,"preset":"gpu-dvfs-step","dist":2,"power":10,"duration":"2u","dt":"4n"})";
+  const std::string cold = svc.handle_line(req);
+  ASSERT_TRUE(response_ok(cold)) << cold;
+  const json::Value root = parsed(cold);
+  const json::Value* scen = root.find("result")->find("scenario");
+  ASSERT_NE(scen, nullptr);
+  EXPECT_TRUE(scen->find("complete")->as_bool());
+  EXPECT_GT(scen->find("weighted_efficiency")->as_number(), 0.0);
+  EXPECT_EQ(scen->find("cells")->as_array().size(), 2u);
+  // Warm hit: byte-identical, no second evaluation.
+  const std::string warm = svc.handle_line(req);
+  EXPECT_EQ(cold, warm);
+  EXPECT_EQ(svc.stats().cache.hits, 1u);
+}
+
 TEST(Serve, ScStaticMatchesDirectModelCall) {
   Service svc;
   const std::string r = svc.handle_line(request_mix()[0]);

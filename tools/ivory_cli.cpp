@@ -32,6 +32,7 @@
 #include "common/table.hpp"
 #include "common/trace.hpp"
 #include "core/ivory.hpp"
+#include "scenario/scenario.hpp"
 #include "serve/batch.hpp"
 #include "serve/server.hpp"
 #include "serve/supervisor.hpp"
@@ -283,6 +284,86 @@ int cmd_dynamic(const Args& a) {
               "[min %.4f | q1 %.4f | med %.4f | q3 %.4f | max %.4f]\n",
               bname.c_str(), mean(tail), peak_to_peak(tail) * 1e3, b.minimum, b.q1, b.median,
               b.q3, b.maximum);
+  return 0;
+}
+
+int cmd_scenario(const Args& a) {
+  const core::SystemParams sys = system_from(a);
+  scenario::ScenarioSpec spec;
+  const std::string preset = a.str("preset", "gpu-dvfs-step");
+  spec.states = workload::residency_preset(preset);
+  spec.name = preset;
+
+  const std::string topo_name = a.str("topology", "sc");
+  core::IvrTopology topo = core::IvrTopology::SwitchedCapacitor;
+  if (topo_name == "sc") topo = core::IvrTopology::SwitchedCapacitor;
+  else if (topo_name == "buck") topo = core::IvrTopology::Buck;
+  else if (topo_name == "ldo") topo = core::IvrTopology::LinearRegulator;
+  else if (topo_name == "dldo") topo = core::IvrTopology::DigitalLdo;
+  else throw UsageError("unknown --topology '" + topo_name + "' (sc|buck|ldo|dldo)");
+
+  const workload::Benchmark bench = workload::benchmark_from_string(a.str("benchmark", "CFD"));
+  const std::string delivery = a.str("delivery", "ivr");
+  if (delivery == "ivr" || delivery == "vrm") {
+    scenario::DomainSpec dom;
+    dom.name = "core";
+    dom.power_frac = 1.0;
+    dom.delivery = scenario::delivery_from_string(delivery);
+    dom.benchmark = bench;
+    spec.domains = {dom};
+  } else if (delivery == "hybrid") {
+    // FlexWatts-style split: the latency-critical core domain rides the
+    // on-chip IVR, the uncore stays on the board VRM rail.
+    scenario::DomainSpec core_dom, uncore_dom;
+    core_dom.name = "core";
+    core_dom.power_frac = 0.7;
+    core_dom.delivery = scenario::Delivery::OnChipIvr;
+    core_dom.benchmark = bench;
+    uncore_dom.name = "uncore";
+    uncore_dom.power_frac = 0.3;
+    uncore_dom.delivery = scenario::Delivery::OffChipVrm;
+    uncore_dom.benchmark = bench;
+    spec.domains = {core_dom, uncore_dom};
+  } else {
+    throw UsageError("unknown --delivery '" + delivery + "' (ivr|vrm|hybrid)");
+  }
+
+  spec.f_nom_hz = a.num("f-nom", spec.f_nom_hz);
+  spec.duration_s = a.num("duration", spec.duration_s);
+  spec.dt_s = a.num("dt", spec.dt_s);
+  spec.seed = static_cast<std::uint64_t>(a.integer("seed", 1));
+  const int dist = a.integer("dist", 4);
+
+  std::printf("scenario '%s': %zu states x %zu domains, %s IVR x%d, delivery %s\n\n",
+              spec.name.c_str(), spec.states.size(), spec.domains.size(),
+              core::topology_name(topo), dist, delivery.c_str());
+  SweepReport report;
+  const scenario::ScenarioReport res =
+      scenario::evaluate_scenario(sys, topo, dist, spec, &report);
+  if (res.has_ivr)
+    std::printf("IVR design: %s, f_sw %.1f MHz, area %.3f mm^2\n",
+                res.design.label.empty() ? core::topology_name(res.design.topology)
+                                         : res.design.label.c_str(),
+                res.design.f_sw_hz / 1e6, res.design.area_m2 * 1e6);
+  TextTable t({"domain", "state", "delivery", "res (%)", "V", "f (GHz)", "I (A)", "eff (%)",
+               "droop (mV)"});
+  for (const scenario::StateEval& c : res.cells)
+    t.add_row({c.domain, c.state, c.gated ? "gated" : scenario::delivery_name(c.delivery),
+               TextTable::num(c.residency * 100, 3), TextTable::num(c.v_v, 3),
+               TextTable::num(c.f_hz / 1e9, 3), TextTable::num(c.i_avg_a, 3),
+               TextTable::num(c.efficiency * 100, 3),
+               TextTable::num(c.droop_pp_v * 1e3, 3)});
+  std::printf("%s", t.render().c_str());
+  std::printf("\nresidency-weighted: eff %.2f %%, P_out %.2f W, P_in %.2f W, "
+              "worst droop %.1f mV%s\n",
+              res.weighted_efficiency * 100, res.p_out_avg_w, res.p_in_avg_w,
+              res.worst_droop_pp_v * 1e3, res.complete ? "" : " (incomplete)");
+  if (!report.skips.empty()) {
+    std::printf("\n%zu of %zu cells quarantined:\n", report.skips.size(), report.n_evaluated);
+    for (const Diagnostics& d : report.skips)
+      std::printf("  - %s\n", d.to_string().c_str());
+  }
+  write_metrics_out(a);
   return 0;
 }
 
@@ -599,6 +680,11 @@ void usage() {
       "  ivory topology [--n N --m M --family ladder|series-parallel]\n"
       "  ivory dynamic  [--benchmark B --dist N --duration s --dt s + explore flags]\n"
       "  ivory pds      [--guard-off V --guard-ivr V --dist N + explore flags]\n"
+      "  ivory scenario [--preset P --topology sc|buck|ldo|dldo --delivery ivr|vrm|hybrid\n"
+      "                  --benchmark B --dist N --duration s --dt s --seed N\n"
+      "                  + explore flags]  residency-weighted power-state evaluation\n"
+      "                  (presets: gpu-dvfs-step, active-idle, race-to-halt,\n"
+      "                  server-diurnal)\n"
       "  ivory transient --netlist FILE --tstop s --dt s [--method trap|be --uic 1\n"
       "                  --record n1,n2 --record-every N --adaptive 1 --dv-max V\n"
       "                  --dt-max s --lu-cache N --kernel auto|dense|banded|sparse]\n"
@@ -637,6 +723,7 @@ int main(int argc, char** argv) {
   else if (cmd == "topology") handler = cmd_topology;
   else if (cmd == "dynamic") handler = cmd_dynamic;
   else if (cmd == "pds") handler = cmd_pds;
+  else if (cmd == "scenario") handler = cmd_scenario;
   else if (cmd == "transient") handler = cmd_transient;
   else if (cmd == "batch") handler = cmd_batch;
   else if (cmd == "serve") handler = cmd_serve;
