@@ -19,6 +19,7 @@
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/ivory.hpp"
+#include "core/report_json.hpp"
 #include "scenario/scenario.hpp"
 
 using namespace ivory;
@@ -69,6 +70,8 @@ struct ScalePoint {
   double two_stage_s = 0.0;
   double scenario_s = 0.0;
   double scenario_cells_per_s = 0.0;
+  double funnel_s = 0.0;
+  double funnel_cands_per_s = 0.0;
   bool identical_to_serial = false;
 };
 
@@ -120,7 +123,9 @@ int main(int argc, char** argv) {
   // Warm the memo caches (charge vectors, tech tables) so every thread count
   // measures sweep work, not one-time derivations.
   par::set_global_threads(1);
-  const std::vector<core::DseResult> reference = core::explore(sys);
+  SweepReport exhaustive_rep;
+  const std::vector<core::DseResult> reference =
+      core::explore(sys, core::OptTarget::Efficiency, &exhaustive_rep);
   const core::TwoStageResult two_ref = core::optimize_two_stage(sys, 4);
   const scenario::ScenarioSpec spec = scenario_workload(smoke);
   const std::string scenario_ref =
@@ -128,13 +133,25 @@ int main(int argc, char** argv) {
           scenario::evaluate_scenario(sys, core::IvrTopology::SwitchedCapacitor, 4, spec))
           .write_canonical();
 
+  // Multi-fidelity funnel phase: screen the dense grid, extract the Pareto
+  // front, simulate only the frontier. Timed cold (stage-3 cache cleared per
+  // rep) so the wall-time ratio against the exhaustive explore() is honest;
+  // the canonical-JSON byte-identity check covers every thread count. Smoke
+  // halves the grid density, keeping the funnel shape while trimming tier-1
+  // time.
+  const core::FunnelSpec funnel_spec = core::FunnelSpec{}.scaled(smoke ? 0.5 : 1.0);
+  core::funnel_sim_cache_clear();
+  const core::ParetoFront funnel_ref = core::funnel_explore(sys, funnel_spec);
+  const std::string funnel_ref_json = core::to_json(funnel_ref).write_canonical();
+  const double funnel_cands = static_cast<double>(funnel_ref.stats.n_screened);
+
   std::vector<ScalePoint> points;
   for (unsigned n : counts) {
     par::set_global_threads(n);
     ScalePoint p;
     p.threads = n;
     std::vector<core::DseResult> got;
-    std::string scenario_got;
+    std::string scenario_got, funnel_got;
     p.explore_s = time_best(kReps, [&] { got = core::explore(sys); });
     p.two_stage_s = time_best(kReps, [&] { (void)core::optimize_two_stage(sys, 4); });
     p.scenario_s = time_best(kReps, [&] {
@@ -142,9 +159,15 @@ int main(int argc, char** argv) {
                                            sys, core::IvrTopology::SwitchedCapacitor, 4, spec))
                          .write_canonical();
     });
+    p.funnel_s = time_best(kReps, [&] {
+      core::funnel_sim_cache_clear();
+      funnel_got = core::to_json(core::funnel_explore(sys, funnel_spec)).write_canonical();
+    });
+    p.funnel_cands_per_s = funnel_cands / p.funnel_s;
     const double n_cells = static_cast<double>(spec.states.size() * spec.domains.size());
     p.scenario_cells_per_s = n_cells / p.scenario_s;
-    p.identical_to_serial = identical(reference, got) && scenario_got == scenario_ref;
+    p.identical_to_serial =
+        identical(reference, got) && scenario_got == scenario_ref && funnel_got == funnel_ref_json;
     points.push_back(p);
   }
   par::set_global_threads(1);
@@ -153,7 +176,7 @@ int main(int argc, char** argv) {
   const double serial_two_stage = points.front().two_stage_s;
 
   TextTable table({"threads", "explore()", "speedup", "two-stage", "speedup", "scenario",
-                   "cells/s", "identical"});
+                   "cells/s", "funnel", "cands/s", "identical"});
   for (const ScalePoint& p : points) {
     table.add_row({std::to_string(p.threads), TextTable::si(p.explore_s, "s"),
                    TextTable::num(serial_explore / p.explore_s, 2),
@@ -161,9 +184,18 @@ int main(int argc, char** argv) {
                    TextTable::num(serial_two_stage / p.two_stage_s, 2),
                    TextTable::si(p.scenario_s, "s"),
                    TextTable::num(p.scenario_cells_per_s, 1),
+                   TextTable::si(p.funnel_s, "s"),
+                   TextTable::num(p.funnel_cands_per_s, 0),
                    p.identical_to_serial ? "yes" : "NO"});
   }
   std::printf("%s\n", table.render().c_str());
+  const double exhaustive_cands =
+      static_cast<double>(exhaustive_rep.n_evaluated == 0 ? 1 : exhaustive_rep.n_evaluated);
+  std::printf("funnel: %.0f candidates screened -> frontier %llu "
+              "(%.0fx the exhaustive grid's %zu candidates; wall-time ratio %.2fx)\n\n",
+              funnel_cands, static_cast<unsigned long long>(funnel_ref.stats.frontier_size),
+              funnel_cands / exhaustive_cands, exhaustive_rep.n_evaluated,
+              points.front().funnel_s / serial_explore);
 
   bool all_identical = true;
   for (const ScalePoint& p : points) all_identical = all_identical && p.identical_to_serial;
@@ -185,6 +217,12 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
   std::fprintf(f, "  \"reps\": %d,\n", kReps);
   std::fprintf(f, "  \"all_identical_to_serial\": %s,\n", all_identical ? "true" : "false");
+  std::fprintf(f, "  \"funnel\": {\"candidates_screened\": %.0f, \"frontier_size\": %llu, "
+               "\"exhaustive_candidates\": %zu, \"screen_ratio\": %.1f, "
+               "\"wall_time_vs_explore\": %.3f},\n",
+               funnel_cands, static_cast<unsigned long long>(funnel_ref.stats.frontier_size),
+               exhaustive_rep.n_evaluated, funnel_cands / exhaustive_cands,
+               points.front().funnel_s / serial_explore);
   std::fprintf(f, "  \"points\": [\n");
   for (std::size_t i = 0; i < points.size(); ++i) {
     const ScalePoint& p = points[i];
@@ -192,9 +230,11 @@ int main(int argc, char** argv) {
                  "    {\"threads\": %u, \"explore_s\": %.6e, \"explore_speedup\": %.3f, "
                  "\"two_stage_s\": %.6e, \"two_stage_speedup\": %.3f, "
                  "\"scenario_s\": %.6e, \"scenario_cells_per_s\": %.3f, "
+                 "\"funnel_s\": %.6e, \"funnel_candidates_per_s\": %.0f, "
                  "\"identical_to_serial\": %s}%s\n",
                  p.threads, p.explore_s, serial_explore / p.explore_s, p.two_stage_s,
                  serial_two_stage / p.two_stage_s, p.scenario_s, p.scenario_cells_per_s,
+                 p.funnel_s, p.funnel_cands_per_s,
                  p.identical_to_serial ? "true" : "false",
                  i + 1 < points.size() ? "," : "");
   }

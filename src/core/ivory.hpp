@@ -25,6 +25,7 @@
 #include "core/dynamic.hpp"
 #include "core/ldo_model.hpp"
 #include "core/optimizer.hpp"
+#include "core/pareto.hpp"
 #include "core/pds.hpp"
 #include "core/sc_model.hpp"
 #include "core/sc_topology.hpp"

@@ -44,14 +44,27 @@ std::vector<std::pair<int, int>> candidate_sc_ratios(double vin_v, double vout_v
   return out;
 }
 
-namespace {
-
-void check_sys(const SystemParams& sys) {
+void check_system_params(const SystemParams& sys) {
   require(sys.area_max_m2 > 0.0, "SystemParams: area budget must be positive");
   require(sys.p_load_w > 0.0, "SystemParams: load power must be positive");
   require(sys.vin_v > sys.vout_v && sys.vout_v > 0.0, "SystemParams: need vin > vout > 0");
   require(sys.max_distributed >= 1, "SystemParams: max_distributed must be >= 1");
   require(sys.ripple_max_v > 0.0, "SystemParams: ripple budget must be positive");
+}
+
+namespace {
+
+// Sort predicate shared by explore() and the funnel-backed overload:
+// feasible designs first, then strictly better under `target`. Strict-weak;
+// stable_sort therefore keeps the serial sweep order on ties.
+bool dse_better(const DseResult& a, const DseResult& b, OptTarget target) {
+  if (a.feasible != b.feasible) return a.feasible;
+  switch (target) {
+    case OptTarget::Efficiency: return a.efficiency > b.efficiency;
+    case OptTarget::Area: return a.area_m2 < b.area_m2;
+    case OptTarget::Noise: return a.ripple_pp_v < b.ripple_pp_v;
+  }
+  return false;
 }
 
 // Deterministic best-point reduction: candidates arrive in a fixed index
@@ -472,7 +485,7 @@ DseResult optimize_dldo(const SystemParams& sys, int n_dist, SweepReport& report
 }
 
 // Dispatch shared by the public entry point and the quarantined sweeps.
-// check_sys/range validation stays with the public wrappers: user-input
+// check_system_params/range validation stays with the public wrappers: user-input
 // errors are not candidate faults and must keep throwing InvalidParameter.
 DseResult optimize_topology_impl(const SystemParams& sys, IvrTopology topo, int n_distributed,
                                  SweepReport& report) {
@@ -490,35 +503,13 @@ DseResult optimize_topology_impl(const SystemParams& sys, IvrTopology topo, int 
   throw InvalidParameter("optimize_topology: unknown topology");
 }
 
-}  // namespace
-
-DseResult optimize_topology(const SystemParams& sys, IvrTopology topo, int n_distributed,
-                            SweepReport* report) {
-  IVORY_TRACE("dse.optimize_topology");
-  metrics::registry().counter("dse.sweeps.optimize_topology").add();
-  check_sys(sys);
-  require(n_distributed >= 1 && n_distributed <= sys.max_distributed,
-          "optimize_topology: distribution count out of range");
-  SweepReport local;
-  try {
-    const DseResult r = optimize_topology_impl(sys, topo, n_distributed, local);
-    if (report) report->merge(local);
-    return r;
-  } catch (...) {
-    // Merge even on failure so the caller's report names what died.
-    if (report) report->merge(local);
-    throw;
-  }
-}
-
-std::vector<DseResult> explore(const SystemParams& sys, OptTarget target, SweepReport* report) {
-  IVORY_TRACE("dse.explore");
-  metrics::registry().counter("dse.sweeps.explore").add();
-  check_sys(sys);
+// explore() minus the final ordering: the raw sweep results in the serial
+// iteration order (topology-major, distribution-minor). best_design() scans
+// this directly instead of paying for a full sort of results it discards.
+std::vector<DseResult> explore_unsorted(const SystemParams& sys, SweepReport* report) {
   // Fan the topology x distribution-count points out over the pool. Each
   // point is a pure function of (sys, topo, n); results land in the serial
-  // iteration order, so the stable sort below sees the exact sequence the
-  // serial loop produced. The inner sweeps of optimize_topology notice they
+  // iteration order. The inner sweeps of optimize_topology notice they
   // run inside a pool task and stay serial (nested-region rejection).
   std::vector<std::pair<IvrTopology, int>> points;
   for (IvrTopology topo : {IvrTopology::SwitchedCapacitor, IvrTopology::Buck,
@@ -560,30 +551,67 @@ std::vector<DseResult> explore(const SystemParams& sys, OptTarget target, SweepR
   if (report) report->merge(merged);
   if (point_level.n_survived == 0 && point_level.n_evaluated > 0)
     throw_all_failed("explore", point_level);
-
-  std::stable_sort(all.begin(), all.end(), [target](const DseResult& a, const DseResult& b) {
-    if (a.feasible != b.feasible) return a.feasible;
-    switch (target) {
-      case OptTarget::Efficiency: return a.efficiency > b.efficiency;
-      case OptTarget::Area: return a.area_m2 < b.area_m2;
-      case OptTarget::Noise: return a.ripple_pp_v < b.ripple_pp_v;
-    }
-    return false;
-  });
   return all;
 }
 
-DseResult best_design(const SystemParams& sys, OptTarget target) {
-  const std::vector<DseResult> all = explore(sys, target);
-  require(!all.empty() && all.front().feasible, "best_design: no feasible design found");
-  return all.front();
+}  // namespace
+
+void sort_dse_results(std::vector<DseResult>& results, OptTarget target) {
+  std::stable_sort(results.begin(), results.end(),
+                   [target](const DseResult& a, const DseResult& b) {
+                     return dse_better(a, b, target);
+                   });
+}
+
+DseResult optimize_topology(const SystemParams& sys, IvrTopology topo, int n_distributed,
+                            SweepReport* report) {
+  IVORY_TRACE("dse.optimize_topology");
+  metrics::registry().counter("dse.sweeps.optimize_topology").add();
+  check_system_params(sys);
+  require(n_distributed >= 1 && n_distributed <= sys.max_distributed,
+          "optimize_topology: distribution count out of range");
+  SweepReport local;
+  try {
+    const DseResult r = optimize_topology_impl(sys, topo, n_distributed, local);
+    if (report) report->merge(local);
+    return r;
+  } catch (...) {
+    // Merge even on failure so the caller's report names what died.
+    if (report) report->merge(local);
+    throw;
+  }
+}
+
+std::vector<DseResult> explore(const SystemParams& sys, OptTarget target, SweepReport* report) {
+  IVORY_TRACE("dse.explore");
+  metrics::registry().counter("dse.sweeps.explore").add();
+  check_system_params(sys);
+  std::vector<DseResult> all = explore_unsorted(sys, report);
+  sort_dse_results(all, target);
+  return all;
+}
+
+DseResult best_design(const SystemParams& sys, OptTarget target, SweepReport* report) {
+  IVORY_TRACE("dse.best_design");
+  metrics::registry().counter("dse.sweeps.best_design").add();
+  check_system_params(sys);
+  // Single pass instead of sorting the whole sweep to take index 0: replace
+  // the incumbent only on a strict dse_better() improvement — exactly the
+  // element stable_sort would have put first.
+  const std::vector<DseResult> all = explore_unsorted(sys, report);
+  require(!all.empty(), "best_design: empty sweep");
+  std::size_t win = 0;
+  for (std::size_t i = 1; i < all.size(); ++i)
+    if (dse_better(all[i], all[win], target)) win = i;
+  require(all[win].feasible, "best_design: no feasible design found");
+  return all[win];
 }
 
 TwoStageResult optimize_two_stage(const SystemParams& sys, int n_distributed,
                                   SweepReport* report) {
   IVORY_TRACE("dse.optimize_two_stage");
   metrics::registry().counter("dse.sweeps.optimize_two_stage").add();
-  check_sys(sys);
+  check_system_params(sys);
   require(n_distributed >= 1 && n_distributed <= sys.max_distributed,
           "optimize_two_stage: distribution count out of range");
 
@@ -613,7 +641,7 @@ TwoStageResult optimize_two_stage(const SystemParams& sys, int n_distributed,
           TwoStageResult cand;
           // Stage 2 first: v_mid -> vout, distributed, sets the power stage 1
           // must carry. Grid construction guarantees valid rails, so the
-          // impl entry (no re-check_sys) is safe here.
+          // impl entry (no re-check_system_params) is safe here.
           SystemParams s2 = sys;
           s2.vin_v = v_mid;
           s2.area_max_m2 = sys.area_max_m2 * (1.0 - a1);

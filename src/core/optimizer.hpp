@@ -78,8 +78,19 @@ DseResult optimize_topology(const SystemParams& sys, IvrTopology topo, int n_dis
 std::vector<DseResult> explore(const SystemParams& sys, OptTarget target = OptTarget::Efficiency,
                                SweepReport* report = nullptr);
 
-/// The single best design under `target`.
-DseResult best_design(const SystemParams& sys, OptTarget target = OptTarget::Efficiency);
+/// The single best design under `target`, selected with one linear scan over
+/// the raw sweep (no full sort). Skips are recorded in `report` like
+/// explore(); throws InvalidParameter when no feasible design exists.
+DseResult best_design(const SystemParams& sys, OptTarget target = OptTarget::Efficiency,
+                      SweepReport* report = nullptr);
+
+/// Validates the user-facing system parameters (throws InvalidParameter).
+/// Shared by every sweep entry point, including the funnel in pareto.hpp.
+void check_system_params(const SystemParams& sys);
+
+/// Stable sort under the shared explore() ordering: feasible designs first,
+/// then best-`target`-first; ties keep their incoming order.
+void sort_dse_results(std::vector<DseResult>& results, OptTarget target);
 
 /// Candidate SC ratios n:m (n <= 6, coprime) whose ideal output can regulate
 /// down to vout from vin, sorted by ideal output closest to vout (highest

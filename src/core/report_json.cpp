@@ -213,6 +213,39 @@ Value to_json(const DseResult& r) {
   return Value(std::move(o));
 }
 
+Value to_json(const ParetoPoint& p) {
+  Value::Object o;
+  o.emplace_back("index", static_cast<std::uint64_t>(p.index));
+  o.emplace_back("ivr_load_frac", p.ivr_load_frac);
+  Value::Object s;
+  s.emplace_back("efficiency", p.screen.efficiency);
+  s.emplace_back("area_m2", p.screen.area_m2);
+  s.emplace_back("ripple_pp_v", p.screen.ripple_pp_v);
+  o.emplace_back("screen", Value(std::move(s)));
+  o.emplace_back("design", to_json(p.design));
+  o.emplace_back("simulated", p.simulated);
+  if (p.simulated) {
+    o.emplace_back("droop_pp_v", p.droop_pp_v);
+    o.emplace_back("v_mean_v", p.v_mean_v);
+  }
+  return Value(std::move(o));
+}
+
+Value to_json(const ParetoFront& f) {
+  Value::Array pts;
+  pts.reserve(f.points.size());
+  for (const ParetoPoint& p : f.points) pts.push_back(to_json(p));
+  Value::Object stats;
+  stats.emplace_back("n_screened", f.stats.n_screened);
+  stats.emplace_back("n_feasible", f.stats.n_feasible);
+  stats.emplace_back("n_blocks", f.stats.n_blocks);
+  stats.emplace_back("frontier_size", f.stats.frontier_size);
+  Value::Object o;
+  o.emplace_back("points", Value(std::move(pts)));
+  o.emplace_back("stats", Value(std::move(stats)));
+  return Value(std::move(o));
+}
+
 Value to_json(const TwoStageResult& r) {
   Value::Object o;
   o.emplace_back("feasible", r.feasible);

@@ -18,6 +18,7 @@
 #include "common/outcome.hpp"
 #include "core/dynamic.hpp"
 #include "core/optimizer.hpp"
+#include "core/pareto.hpp"
 #include "core/pds.hpp"
 #include "spice/analysis.hpp"
 
@@ -50,6 +51,15 @@ json::Value to_json(const DldoAnalysis& a);
 json::Value to_json(const DseResult& r);
 json::Value to_json(const TwoStageResult& r);
 json::Value to_json(const PdsBreakdown& b);
+
+/// Multi-fidelity funnel frontier. Deliberately excluded from the JSON:
+/// wall times (screen_s/sim_s) and the cache provenance flags (sim_cached,
+/// sim_cache_hits/misses), so a warm-cache re-run serializes byte-identical
+/// to the cold run — the invariant the content-addressed serve cache and
+/// the incremental re-exploration tests assert on. Cache counters remain
+/// observable through funnel_sim_cache_stats().
+json::Value to_json(const ParetoPoint& p);
+json::Value to_json(const ParetoFront& f);
 
 /// Transient simulation result: simulator-cost counters (steps taken, LU
 /// factorizations, keyed-cache hits/evictions/high-water mark) plus per-node

@@ -118,6 +118,13 @@ spice::Circuit make_grid_circuit(const GridParams& p);
 std::vector<double> simulate_die_voltage(const PdnParams& p, double v_supply,
                                          const std::vector<double>& i_load, double dt);
 
+/// Rated-current headroom used when sizing a board VRM for a given load: the
+/// part is picked to carry `kVrmRatingFactor` x the nominal current so that
+/// transients and derating do not push it into its loss knee. Shared by the
+/// scenario engine's off-chip delivery paths and the DSE funnel's hybrid
+/// (split IVR/VRM) candidates.
+inline constexpr double kVrmRatingFactor = 2.5;
+
 /// Off-chip voltage-regulator-module model: conversion efficiency versus load,
 /// eta(i) = p_out / (p_out + p_fixed + r_loss * i^2 + v_drop * i).
 struct VrmModel {

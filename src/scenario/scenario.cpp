@@ -40,7 +40,9 @@ namespace {
 
 // The board VRM serving a domain is rated at the workload peak (~2.5x the
 // nominal mean, the optimizer's kPeakLoadFactor), like the IVR designs.
-constexpr double kVrmRatingFactor = 2.5;
+// The factor itself lives in pdn.hpp so the DSE funnel's hybrid candidates
+// size their VRM share identically.
+using pdn::kVrmRatingFactor;
 
 double tail_peak_to_peak(const std::vector<double>& v) {
   if (v.empty()) return 0.0;

@@ -203,6 +203,7 @@ const char* op_name(Op op) {
     case Op::LdoStatic: return "ldo_static";
     case Op::DldoStatic: return "dldo_static";
     case Op::Explore: return "explore";
+    case Op::Pareto: return "pareto";
     case Op::Optimize: return "optimize";
     case Op::ScenarioEval: return "scenario_eval";
     case Op::Pds: return "pds";
@@ -215,12 +216,12 @@ const char* op_name(Op op) {
 
 Op op_from_string(const std::string& name) {
   for (const Op op : {Op::ScStatic, Op::BuckStatic, Op::LdoStatic, Op::DldoStatic, Op::Explore,
-                      Op::Optimize, Op::ScenarioEval, Op::Pds, Op::Transient, Op::Stats,
-                      Op::Metrics})
+                      Op::Pareto, Op::Optimize, Op::ScenarioEval, Op::Pds, Op::Transient,
+                      Op::Stats, Op::Metrics})
     if (name == op_name(op)) return op;
   throw InvalidParameter("unknown op '" + name +
-                         "' (sc_static|buck_static|ldo_static|dldo_static|explore|optimize|"
-                         "scenario_eval|pds|transient|stats|metrics)");
+                         "' (sc_static|buck_static|ldo_static|dldo_static|explore|pareto|"
+                         "optimize|scenario_eval|pds|transient|stats|metrics)");
 }
 
 Request parse_request(const json::Value& root) {
@@ -303,6 +304,18 @@ DldoStaticParams dldo_static_params(const json::Value& body) {
   return p;
 }
 
+namespace {
+
+/// Optional response-size bound shared by explore and pareto: absent = all.
+int top_k_from(FieldReader& r) {
+  if (!r.has("top_k")) return 0;
+  const int k = r.integer("top_k", 0);
+  if (k < 1) r.fail("top_k", "must be >= 1 (omit the field to return all)");
+  return k;
+}
+
+}  // namespace
+
 ExploreParams explore_params(const json::Value& body) {
   FieldReader r(body, "explore");
   r.get("op");
@@ -313,6 +326,25 @@ ExploreParams explore_params(const json::Value& body) {
   else if (t == "area") p.target = core::OptTarget::Area;
   else if (t == "noise") p.target = core::OptTarget::Noise;
   else r.fail("target", "unknown target '" + t + "' (efficiency|area|noise)");
+  p.top_k = top_k_from(r);
+  r.finish();
+  return p;
+}
+
+ParetoParams pareto_params(const json::Value& body) {
+  FieldReader r(body, "pareto");
+  r.get("op");
+  ParetoParams p;
+  p.sys = system_from(r);
+  const double density = r.num("density", 1.0);
+  if (!(density > 0.0) || density > 4.0)
+    r.fail("density", "must be in (0, 4] (grid scale factor)");
+  p.spec = p.spec.scaled(density);
+  const int cap = r.integer("front_cap", static_cast<int>(p.spec.front_cap));
+  if (cap < 1) r.fail("front_cap", "must be >= 1");
+  p.spec.front_cap = static_cast<std::size_t>(cap);
+  p.spec.simulate = r.boolean("simulate", p.spec.simulate);
+  p.top_k = top_k_from(r);
   r.finish();
   return p;
 }

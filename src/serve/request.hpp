@@ -26,6 +26,7 @@
 
 #include "common/json.hpp"
 #include "core/optimizer.hpp"
+#include "core/pareto.hpp"
 #include "scenario/scenario.hpp"
 #include "workload/workload.hpp"
 
@@ -37,6 +38,7 @@ enum class Op {
   LdoStatic,     ///< analyze one LDO design
   DldoStatic,    ///< analyze one discrete-time digital LDO design
   Explore,       ///< full topology x distribution sweep
+  Pareto,        ///< multi-fidelity funnel: screen, extract front, simulate
   Optimize,      ///< optimize one topology family (or a two-stage cascade)
   ScenarioEval,  ///< residency-weighted power-state scenario evaluation
   Pds,           ///< end-to-end PDS composition, off-chip VRM vs IVR
@@ -104,8 +106,19 @@ DldoStaticParams dldo_static_params(const json::Value& body);
 struct ExploreParams {
   core::SystemParams sys;
   core::OptTarget target = core::OptTarget::Efficiency;
+  int top_k = 0;  ///< > 0: truncate the sorted result list (0 = all)
 };
 ExploreParams explore_params(const json::Value& body);
+
+/// Funnel body: system fields (like explore) + optional "density" (every
+/// FunnelSpec grid axis scaled by it), "front_cap", "simulate" and "top_k"
+/// (truncates the reported points, 0 = all; stats keep the full counts).
+struct ParetoParams {
+  core::SystemParams sys;
+  core::FunnelSpec spec;
+  int top_k = 0;
+};
+ParetoParams pareto_params(const json::Value& body);
 
 struct OptimizeParams {
   core::SystemParams sys;

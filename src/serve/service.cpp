@@ -260,12 +260,27 @@ std::string Service::evaluate(const Request& req) {
     case Op::Explore: {
       const ExploreParams p = explore_params(req.body);
       SweepReport report;
-      const std::vector<core::DseResult> results = core::explore(p.sys, p.target, &report);
+      std::vector<core::DseResult> results = core::explore(p.sys, p.target, &report);
+      // top_k bounds the response, not the sweep: the report still covers
+      // every candidate evaluated.
+      if (p.top_k > 0 && results.size() > static_cast<std::size_t>(p.top_k))
+        results.resize(static_cast<std::size_t>(p.top_k));
       Value::Array arr;
       arr.reserve(results.size());
       for (const core::DseResult& r : results) arr.push_back(core::to_json(r));
       Value::Object o;
       o.emplace_back("results", Value(std::move(arr)));
+      o.emplace_back("report", to_json(report));
+      return Value(std::move(o)).write();
+    }
+    case Op::Pareto: {
+      const ParetoParams p = pareto_params(req.body);
+      SweepReport report;
+      core::ParetoFront front = core::funnel_explore(p.sys, p.spec, &report);
+      if (p.top_k > 0 && front.points.size() > static_cast<std::size_t>(p.top_k))
+        front.points.resize(static_cast<std::size_t>(p.top_k));
+      Value::Object o;
+      o.emplace_back("front", core::to_json(front));
       o.emplace_back("report", to_json(report));
       return Value(std::move(o)).write();
     }

@@ -187,6 +187,96 @@ TEST(Serve, ScenarioEvalEvaluatesAndCaches) {
   EXPECT_EQ(svc.stats().cache.hits, 1u);
 }
 
+TEST(Serve, ParetoEvaluatesAndCaches) {
+  Service svc;
+  const std::string req =
+      R"({"op":"pareto","id":1,"power":20,"area":20,"density":0.2,"simulate":false})";
+  const std::string cold = svc.handle_line(req);
+  ASSERT_TRUE(response_ok(cold)) << cold;
+  const json::Value root = parsed(cold);
+  const json::Value* front = root.find("result")->find("front");
+  ASSERT_NE(front, nullptr);
+  EXPECT_GT(front->find("points")->as_array().size(), 0u);
+  EXPECT_GT(front->find("stats")->find("n_screened")->as_number(), 0.0);
+  // Warm hit: byte-identical, no second funnel run.
+  const std::string warm = svc.handle_line(req);
+  EXPECT_EQ(cold, warm);
+  EXPECT_EQ(svc.stats().cache.hits, 1u);
+}
+
+TEST(Serve, ParetoTopKTruncatesTheResponse) {
+  Service svc;
+  const std::string all = svc.handle_line(
+      R"({"op":"pareto","id":1,"density":0.2,"simulate":false})");
+  ASSERT_TRUE(response_ok(all)) << all;
+  const std::size_t n_all =
+      parsed(all).find("result")->find("front")->find("points")->as_array().size();
+  ASSERT_GT(n_all, 3u);
+
+  const std::string top3 = svc.handle_line(
+      R"({"op":"pareto","id":2,"density":0.2,"simulate":false,"top_k":3})");
+  ASSERT_TRUE(response_ok(top3)) << top3;
+  const json::Value doc = parsed(top3);
+  EXPECT_EQ(doc.find("result")->find("front")->find("points")->as_array().size(), 3u);
+  // top_k bounds the response, not the sweep: the stats still cover the
+  // whole frontier.
+  EXPECT_EQ(doc.find("result")->find("front")->find("stats")->find("frontier_size")
+                ->as_number(),
+            static_cast<double>(n_all));
+}
+
+TEST(Serve, ParetoSchemaIsStrict) {
+  Service svc;
+  // Unknown field is named.
+  const std::string unknown =
+      svc.handle_line(R"({"op":"pareto","id":1,"densityy":0.2})");
+  EXPECT_FALSE(response_ok(unknown));
+  EXPECT_NE(parsed(unknown).find("error")->find("detail")->as_string().find("densityy"),
+            std::string::npos);
+  // top_k must be a positive integer; the diagnostic names the field.
+  const std::string zero =
+      svc.handle_line(R"({"op":"pareto","id":2,"top_k":0})");
+  EXPECT_FALSE(response_ok(zero));
+  EXPECT_NE(parsed(zero).find("error")->find("detail")->as_string().find("top_k"),
+            std::string::npos);
+  const std::string frac =
+      svc.handle_line(R"({"op":"pareto","id":3,"top_k":2.5})");
+  EXPECT_FALSE(response_ok(frac));
+  EXPECT_NE(parsed(frac).find("error")->find("detail")->as_string().find("top_k"),
+            std::string::npos);
+  // Out-of-range density is rejected before any screening happens.
+  const std::string bad_density =
+      svc.handle_line(R"({"op":"pareto","id":4,"density":0})");
+  EXPECT_FALSE(response_ok(bad_density));
+  EXPECT_NE(parsed(bad_density).find("error")->find("detail")->as_string().find("density"),
+            std::string::npos);
+  EXPECT_EQ(svc.stats().cache.entries, 0u);
+}
+
+TEST(Serve, ExploreTopKTruncatesTheResponse) {
+  Service svc;
+  const std::string all = svc.handle_line(R"({"op":"explore","id":1,"power":10})");
+  ASSERT_TRUE(response_ok(all)) << all;
+  const std::size_t n_all =
+      parsed(all).find("result")->find("results")->as_array().size();
+  ASSERT_GT(n_all, 2u);
+
+  const std::string top2 =
+      svc.handle_line(R"({"op":"explore","id":2,"power":10,"top_k":2})");
+  ASSERT_TRUE(response_ok(top2)) << top2;
+  const json::Value doc = parsed(top2);
+  EXPECT_EQ(doc.find("result")->find("results")->as_array().size(), 2u);
+  // The report still covers the full sweep.
+  EXPECT_EQ(doc.find("result")->find("report")->find("n_evaluated")->as_number(),
+            parsed(all).find("result")->find("report")->find("n_evaluated")->as_number());
+
+  const std::string bad =
+      svc.handle_line(R"({"op":"explore","id":3,"power":10,"top_k":-1})");
+  EXPECT_FALSE(response_ok(bad));
+  EXPECT_NE(parsed(bad).find("error")->find("detail")->as_string().find("top_k"),
+            std::string::npos);
+}
+
 TEST(Serve, ScStaticMatchesDirectModelCall) {
   Service svc;
   const std::string r = svc.handle_line(request_mix()[0]);

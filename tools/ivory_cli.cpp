@@ -2,6 +2,7 @@
 // library.
 //
 //   ivory explore   --vin 3.3 --vout 1.0 --power 20 --area 20m  [--cap trench]
+//   ivory pareto    --density 1.0 --front-cap 32 [--top-k 10 + explore flags]
 //   ivory sc        --n 3 --m 1 --cfly 4u --gtot 15k --fsw 80meg --vin 3.3 --iload 20
 //   ivory buck      --l 5n --fsw 100meg --phases 4 --whs 80m --wls 100m
 //                   --cout 1u --vin 3.3 --vout 1.0 --iload 10
@@ -133,6 +134,62 @@ int cmd_explore(const Args& a) {
                r.feasible ? "yes" : "no"});
   }
   std::printf("%s", t.render().c_str());
+  if (!report.skips.empty()) {
+    std::printf("\n%zu of %zu candidates quarantined:\n", report.skips.size(),
+                report.n_evaluated);
+    for (const Diagnostics& d : report.skips)
+      std::printf("  - %s\n", d.to_string().c_str());
+  }
+  write_metrics_out(a);
+  return 0;
+}
+
+int cmd_pareto(const Args& a) {
+  const core::SystemParams sys = system_from(a);
+  core::FunnelSpec spec;
+  const double density = a.num("density", 1.0);
+  if (!(density > 0.0)) throw UsageError("--density must be > 0");
+  spec = spec.scaled(density);
+  spec.front_cap = static_cast<std::size_t>(a.integer("front-cap", static_cast<int>(spec.front_cap)));
+  if (spec.front_cap < 1) throw UsageError("--front-cap must be >= 1");
+  spec.simulate = a.integer("simulate", 1) != 0;
+  const int top_k = a.integer("top-k", 0);
+  if (a.has("top-k") && top_k < 1) throw UsageError("--top-k must be >= 1 (omit to show all)");
+
+  std::printf("funnel: %.2f V -> %.2f V, %.1f W, %.1f mm^2, %s, %s caps (density %.2f)\n\n",
+              sys.vin_v, sys.vout_v, sys.p_load_w, sys.area_max_m2 * 1e6,
+              tech::node_name(sys.node), tech::cap_kind_name(sys.cap_kind), density);
+  SweepReport report;
+  const core::ParetoFront front = core::funnel_explore(sys, spec, &report);
+
+  TextTable t({"#", "design", "dist", "ivr%", "eff (%)", "area (mm^2)", "ripple (mV)",
+               "droop (mV)", "sim"});
+  std::size_t shown = 0;
+  for (const core::ParetoPoint& p : front.points) {
+    if (top_k > 0 && shown == static_cast<std::size_t>(top_k)) break;
+    ++shown;
+    t.add_row({std::to_string(shown),
+               p.design.label.empty() ? core::topology_name(p.design.topology) : p.design.label,
+               std::to_string(p.design.n_distributed),
+               std::to_string(static_cast<int>(p.ivr_load_frac * 100.0 + 0.5)),
+               TextTable::num(p.screen.efficiency * 100, 3),
+               TextTable::num(p.screen.area_m2 * 1e6, 3),
+               TextTable::num(p.screen.ripple_pp_v * 1e3, 3),
+               p.simulated ? TextTable::num(p.droop_pp_v * 1e3, 3) : "-",
+               p.simulated ? (p.sim_cached ? "cached" : "yes") : "no"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("screened %llu candidates (%llu feasible) in %llu blocks -> frontier %llu "
+              "(%.0f candidates/s; sim cache: %llu hit, %llu miss)\n",
+              static_cast<unsigned long long>(front.stats.n_screened),
+              static_cast<unsigned long long>(front.stats.n_feasible),
+              static_cast<unsigned long long>(front.stats.n_blocks),
+              static_cast<unsigned long long>(front.stats.frontier_size),
+              front.stats.screen_s > 0.0
+                  ? static_cast<double>(front.stats.n_screened) / front.stats.screen_s
+                  : 0.0,
+              static_cast<unsigned long long>(front.stats.sim_cache_hits),
+              static_cast<unsigned long long>(front.stats.sim_cache_misses));
   if (!report.skips.empty()) {
     std::printf("\n%zu of %zu candidates quarantined:\n", report.skips.size(),
                 report.n_evaluated);
@@ -673,6 +730,9 @@ void usage() {
       stderr,
       "ivory — early-stage IVR design space exploration (DAC'17 reproduction)\n\n"
       "  ivory explore  [--vin V --vout V --power W --area mm2 --node N --cap K]\n"
+      "  ivory pareto   [--density D --front-cap N --top-k N --simulate 0|1\n"
+      "                  + explore flags]  multi-fidelity funnel: cheap-screen a\n"
+      "                  dense grid, print the efficiency/area/ripple Pareto front\n"
       "  ivory sc       [--n N --m M --family F --cfly F --gtot S --fsw Hz --vin V\n"
       "                  --iload A --regulate V]\n"
       "  ivory buck     [--l H --fsw Hz --phases N --whs m --wls m --cout F\n"
@@ -718,6 +778,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   int (*handler)(const Args&) = nullptr;
   if (cmd == "explore") handler = cmd_explore;
+  else if (cmd == "pareto") handler = cmd_pareto;
   else if (cmd == "sc") handler = cmd_sc;
   else if (cmd == "buck") handler = cmd_buck;
   else if (cmd == "topology") handler = cmd_topology;
