@@ -20,6 +20,9 @@
 //
 // Usage: bench_serve_throughput [--smoke] [output.json]
 //   --smoke  tiny sizes (used by the perf-smoke ctest label)
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,12 +33,15 @@
 #include <thread>
 #include <vector>
 
+#include "common/json.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "serve/batch.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "serve/supervisor.hpp"
+#include "serve/wave_codec.hpp"
 
 using namespace ivory;
 
@@ -141,6 +147,101 @@ double fleet_phase(const std::vector<std::string>& requests, int workers,
   return wall_s > 0 ? static_cast<double>(requests.size()) * n_clients / wall_s : -1.0;
 }
 
+/// Linear interpolation of quantile `q` from histogram buckets (the +inf
+/// bucket reports the last finite bound — good enough for a trend line).
+double histogram_quantile(const metrics::Histogram::Snapshot& s, double q) {
+  if (s.count == 0) return 0.0;
+  const double target = q * static_cast<double>(s.count);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < s.counts.size(); ++b) {
+    const std::uint64_t next = cum + s.counts[b];
+    if (static_cast<double>(next) >= target && s.counts[b] > 0) {
+      if (b >= s.bounds.size()) return s.bounds.empty() ? 0.0 : s.bounds.back();
+      const double lo = b == 0 ? 0.0 : s.bounds[b - 1];
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(s.counts[b]);
+      return lo + frac * (s.bounds[b] - lo);
+    }
+    cum = next;
+  }
+  return s.bounds.empty() ? 0.0 : s.bounds.back();
+}
+
+struct StreamBenchResult {
+  double rps = -1.0;
+  double p50_ms = 0.0, p99_ms = 0.0;
+  std::uint64_t streams = 0;
+  bool byte_identical = false;
+};
+
+/// Streamed wave1 transients over the in-process socket server: `n_clients`
+/// concurrent connections each run `per_client` streams of a ~2k-row SPICE
+/// transient, every decoded stream checked byte-identical to the buffered
+/// response. Per-stream wall time goes into a latency histogram; p50/p99
+/// are interpolated from its buckets.
+StreamBenchResult streaming_phase(int n_clients, int per_client) {
+  const std::string request =
+      R"({"id":1,"op":"transient","topology":"spice",)"
+      R"("netlist":"* rc\nV1 in 0 DC 1\nR1 in out 1k\nC1 out 0 1n\n.end",)"
+      R"("tstop":2e-6,"dt":1e-9,"return_waveform":true})";
+  json::Value root = json::Value::parse(request);
+  root.set("stream", json::Value(true));
+  root.set("encoding", json::Value(std::string("wave1")));
+  root.set("chunk_bytes", json::Value(std::uint64_t{4096}));
+  const std::string streamed = root.write();
+
+  serve::ServerOptions opt;
+  opt.socket_path = (std::filesystem::temp_directory_path() /
+                     ("ivory-bench-stream-" + std::to_string(::getpid()) + ".sock"))
+                        .string();
+  serve::Server server(opt);
+  server.start();
+
+  std::string reference;
+  {
+    serve::BlockingClient cli(server.socket_path());
+    cli.send_line(request);
+    reference = cli.recv_line();
+  }
+
+  metrics::Histogram latency(metrics::Histogram::default_latency_bounds_ms());
+  std::atomic<bool> identical{true};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < n_clients; ++c)
+    clients.emplace_back([&] {
+      serve::BlockingClient cli(server.socket_path());
+      for (int i = 0; i < per_client; ++i) {
+        const auto s0 = std::chrono::steady_clock::now();
+        cli.send_line(streamed);
+        const serve::StreamAssembler out =
+            serve::read_stream([&cli](char* p, std::size_t cap) {
+              return cli.recv_raw(p, cap);
+            });
+        latency.observe(
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                      s0)
+                .count());
+        if (out.status() != "ok" || out.decoded() != reference)
+          identical.store(false);
+      }
+    });
+  for (std::thread& t : clients) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  server.stop();
+  std::filesystem::remove(opt.socket_path);
+
+  StreamBenchResult r;
+  const metrics::Histogram::Snapshot snap = latency.snapshot();
+  r.streams = snap.count;
+  r.p50_ms = histogram_quantile(snap, 0.50);
+  r.p99_ms = histogram_quantile(snap, 0.99);
+  r.byte_identical = identical.load();
+  r.rps = wall_s > 0 ? static_cast<double>(snap.count) / wall_s : -1.0;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -208,6 +309,17 @@ int main(int argc, char** argv) {
     fleet_runs.push_back({workers, rps});
   }
 
+  // Streamed wave1 transients over the socket server: latency distribution
+  // (p50/p99 from histogram buckets) plus the byte-identity check against
+  // the buffered response.
+  const StreamBenchResult streaming =
+      streaming_phase(smoke ? 2 : 4, smoke ? 10 : 50);
+  if (!streaming.byte_identical || streaming.rps < 0) {
+    std::fprintf(stderr, "FATAL: streaming phase failed (byte_identical=%d)\n",
+                 streaming.byte_identical);
+    return 1;
+  }
+
   TextTable t({"threads", "pass", "requests", "req/s", "hit rate", "evals"});
   std::string json = "{\"benchmark\":\"serve_throughput\",\"runs\":[";
   for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -243,7 +355,18 @@ int main(int argc, char** argv) {
                   i == 0 ? "" : ",", fleet_runs[i].workers, fleet_runs[i].rps);
     json += buf;
   }
-  json += "]}";
+  json += "]";
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  ",\"streaming\":{\"streams\":%llu,\"requests_per_s\":%.1f,"
+                  "\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"byte_identical\":%s}",
+                  static_cast<unsigned long long>(streaming.streams), streaming.rps,
+                  streaming.p50_ms, streaming.p99_ms,
+                  streaming.byte_identical ? "true" : "false");
+    json += buf;
+  }
+  json += "}";
 
   std::printf("serve throughput (repeat=2: cold pass then warm pass)%s\n\n%s\n",
               smoke ? " (smoke)" : "", t.render().c_str());
@@ -252,6 +375,10 @@ int main(int argc, char** argv) {
   for (const FleetRun& f : fleet_runs)
     std::printf("fleet %d worker%s: %.0f req/s\n", f.workers,
                 f.workers == 1 ? "" : "s", f.rps);
+  std::printf("streaming (wave1): %llu streams, %.0f req/s, p50 %.2f ms, p99 %.2f ms"
+              " (byte-identical: yes)\n",
+              static_cast<unsigned long long>(streaming.streams), streaming.rps,
+              streaming.p50_ms, streaming.p99_ms);
   if (FILE* f = std::fopen(out_path.c_str(), "w")) {
     std::fprintf(f, "%s\n", json.c_str());
     std::fclose(f);

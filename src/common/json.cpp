@@ -26,13 +26,6 @@ const char* kind_name(Value::Kind k) {
                          kind_name(got));
 }
 
-void append_number(std::string& out, double d) {
-  if (!std::isfinite(d))
-    throw NumericalError("json: cannot serialize non-finite number");
-  char buf[32];
-  const auto r = std::to_chars(buf, buf + sizeof buf, d);
-  out.append(buf, r.ptr);
-}
 
 void append_utf8(std::string& out, std::uint32_t cp) {
   if (cp < 0x80) {
@@ -360,6 +353,14 @@ std::string Value::write_canonical() const {
 
 Value Value::parse(std::string_view text, std::size_t max_depth) {
   return Parser(text, max_depth).run();
+}
+
+void append_number(std::string& out, double d) {
+  if (!std::isfinite(d))
+    throw NumericalError("json: cannot serialize non-finite number");
+  char buf[32];
+  const auto r = std::to_chars(buf, buf + sizeof buf, d);
+  out.append(buf, r.ptr);
 }
 
 std::string escape_string(std::string_view s) {

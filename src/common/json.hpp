@@ -110,4 +110,10 @@ class Value {
 /// Escapes `s` as a JSON string literal including the surrounding quotes.
 std::string escape_string(std::string_view s);
 
+/// Appends `d` to `out` in the exact spelling Value::write() uses (shortest
+/// round-trip, std::to_chars). Exposed so streamed transports can render
+/// number columns byte-identically to a whole-document write(). Throws
+/// NumericalError on non-finite input.
+void append_number(std::string& out, double d);
+
 }  // namespace ivory::json

@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <istream>
+#include <memory>
 #include <ostream>
+#include <thread>
 
 namespace ivory::serve {
 
@@ -17,6 +19,7 @@ BatchSummary run_batch(std::istream& in, std::ostream& out, Service& service,
   Scheduler::Options sopt;
   sopt.wave = opt.wave;
   sopt.queue_capacity = opt.queue_capacity;
+  sopt.stream_slots = opt.stream_slots;
   Scheduler scheduler(service, sopt);
 
   BatchSummary summary;
@@ -25,12 +28,39 @@ BatchSummary run_batch(std::istream& in, std::ostream& out, Service& service,
   for (int pass = 0; pass < passes; ++pass) {
     const ServiceStats before = service.stats();
     const int client = scheduler.open_client();
-    for (const std::string& line : lines)
-      scheduler.submit(client, line, [&out](const std::string& response) {
-        out << response << '\n';
+    // Same ordered-delivery machinery as the socket transport: one slot per
+    // request in submission order, one writer draining to `out`, so plain
+    // lines and streamed frame runs interleave exactly as submitted.
+    DeliveryQueue dq(opt.stream_window);
+    std::thread writer([&dq, &out] {
+      std::string bytes;
+      while (dq.next(bytes)) out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    });
+    for (const std::string& line : lines) {
+      const TransportDirective d = classify_line(line);
+      if (d.is_cancel) {
+        const bool hit = scheduler.cancel(client, d.cancel_id);
+        std::string resp = "{\"id\":";
+        resp += d.id.write();
+        resp += ",\"ok\":true,\"result\":{\"cancelled\":";
+        resp += hit ? "true" : "false";
+        resp += "}}\n";
+        dq.open_plain()->set(std::move(resp));
+        continue;
+      }
+      if (d.is_stream) {
+        scheduler.submit_stream(client, line, dq.open_stream());
+        continue;
+      }
+      std::shared_ptr<DeliveryQueue::Plain> slot = dq.open_plain();
+      scheduler.submit(client, line, [slot](const std::string& response) {
+        slot->set(response + "\n");
       });
+    }
     scheduler.drain();
     scheduler.close_client(client);
+    dq.close_submit();
+    writer.join();
     const ServiceStats after = service.stats();
 
     BatchPassStats p;

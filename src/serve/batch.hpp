@@ -23,6 +23,8 @@ struct BatchOptions {
   int repeat = 1;                   ///< replay the request stream N times
   std::size_t wave = 0;             ///< scheduler wave size (0 = auto)
   std::size_t queue_capacity = 1024;
+  std::size_t stream_slots = 2;   ///< dedicated stream-worker threads
+  std::size_t stream_window = 8;  ///< max in-flight frames per stream slot
 };
 
 /// Counter deltas for one replay pass.

@@ -242,6 +242,28 @@ Request parse_request(const json::Value& root) {
       req.deadline_ms = m.second.as_number();
       continue;
     }
+    if (m.first == "stream") {
+      if (!m.second.is_bool()) throw InvalidParameter("field 'stream': expected a bool");
+      req.stream = m.second.as_bool();
+      continue;
+    }
+    if (m.first == "encoding") {
+      if (!m.second.is_string() ||
+          (m.second.as_string() != "json" && m.second.as_string() != "wave1"))
+        throw InvalidParameter("field 'encoding': expected \"json\" or \"wave1\"");
+      req.encoding = m.second.as_string();
+      continue;
+    }
+    if (m.first == "chunk_bytes") {
+      if (!m.second.is_number() || m.second.as_number() < 1.0 ||
+          m.second.as_number() > static_cast<double>(16u << 20) ||
+          m.second.as_number() != static_cast<double>(
+                                      static_cast<std::uint64_t>(m.second.as_number())))
+        throw InvalidParameter(
+            "field 'chunk_bytes': expected an integer in [1, 16777216]");
+      req.chunk_bytes = static_cast<std::size_t>(m.second.as_number());
+      continue;
+    }
     if (m.first == "op") {
       if (!m.second.is_string()) throw InvalidParameter("field 'op': expected a string");
       req.op = op_from_string(m.second.as_string());
@@ -254,6 +276,26 @@ Request parse_request(const json::Value& root) {
   req.canonical = req.body.write_canonical();
   req.key = fnv1a64(req.canonical);
   return req;
+}
+
+TransportDirective classify_line(const std::string& line) {
+  TransportDirective d;
+  try {
+    const json::Value root = json::Value::parse(line);
+    if (!root.is_object()) return d;
+    if (const json::Value* id = root.find("id"))
+      if (id->is_null() || id->is_string() || id->is_number()) d.id = *id;
+    if (const json::Value* c = root.find("cancel"); c != nullptr && !root.find("op")) {
+      d.is_cancel = true;
+      d.cancel_id = *c;
+      return d;
+    }
+    if (const json::Value* s = root.find("stream"))
+      d.is_stream = s->is_bool() && s->as_bool();
+  } catch (const std::exception&) {
+    // Malformed line: plain request; the service reports the parse error.
+  }
+  return d;
 }
 
 ScStaticParams sc_static_params(const json::Value& body) {

@@ -7,6 +7,11 @@
 // Envelope fields (not part of the cached content):
 //   id          optional string | number | null — echoed in the response
 //   deadline_ms optional number > 0 — drop the job if it has waited longer
+//   stream      optional bool — true: respond with a binary frame stream
+//               (see serve/frame.hpp) instead of one JSON line
+//   encoding    optional "json" (default) | "wave1" — streamed payload
+//               encoding; wave1 requires a transient with return_waveform
+//   chunk_bytes optional integer in [1, 16 MiB] — streamed chunk budget
 //
 // Everything else, including "op", is the request *body*. The cache key is
 // fnv1a64 over the canonical form of the body: object keys sorted bytewise
@@ -58,12 +63,30 @@ struct Request {
   std::string canonical;   ///< canonical JSON of `body`
   std::uint64_t key = 0;   ///< fnv1a64(canonical)
   double deadline_ms = 0;  ///< <= 0 means no deadline
+
+  // Transport negotiation (envelope, excluded from the cache key: a streamed
+  // and a non-streamed request for the same body share one cache entry).
+  bool stream = false;
+  std::string encoding = "json";   ///< "json" | "wave1"
+  std::size_t chunk_bytes = 65536; ///< streamed chunk budget
 };
 
 /// Validates the envelope of a parsed request object and computes its
 /// canonical form + cache key. Parameter validation happens at evaluation
 /// time (see the builders below). Throws InvalidParameter.
 Request parse_request(const json::Value& root);
+
+/// Cheap transport-level peek at a raw request line, used by transports to
+/// route it (plain response slot, stream slot, or cancel) before the service
+/// sees it. Never throws: a malformed line classifies as a plain request and
+/// the service reports the parse error in the ordinary response.
+struct TransportDirective {
+  bool is_stream = false;   ///< envelope asked for a frame-stream response
+  bool is_cancel = false;   ///< {"cancel": <id>} control line (no "op")
+  json::Value id;           ///< request id (null when absent/invalid)
+  json::Value cancel_id;    ///< id named by a cancel line
+};
+TransportDirective classify_line(const std::string& line);
 
 // ---------------------------------------------------------------------------
 // Typed parameters per op. Builders perform strict field-level validation:

@@ -5,6 +5,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -18,40 +19,32 @@ namespace {
 
 /// Socket write that can never raise SIGPIPE: a client that disconnects
 /// mid-response must cost exactly its own connection, not the process.
-/// MSG_NOSIGNAL turns the signal into an EPIPE return, which — like any
-/// other send error here — drops the remaining bytes for that connection.
-void write_all(int fd, const char* data, std::size_t n) {
+/// MSG_NOSIGNAL turns the signal into an EPIPE return. Returns false when
+/// the peer is gone (EPIPE, ECONNRESET, ...), so the caller can mark the
+/// consumer dead and stop producing for it.
+bool write_all(int fd, const char* data, std::size_t n) {
   while (n > 0) {
     const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
-      return;  // client went away (EPIPE, ECONNRESET, ...); drop its responses
+      return false;  // client went away; drop its remaining responses
     }
     data += w;
     n -= static_cast<std::size_t>(w);
   }
+  return true;
 }
 
 }  // namespace
 
-/// Shared between the reader thread and the scheduler's delivery sink.
+/// Shared between the reader thread, the writer thread, and the scheduler's
+/// producers (dispatcher sink sets plain slots, stream workers push frames).
 struct Server::Connection {
   int fd = -1;
   int client = -1;  ///< scheduler client id
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t in_flight = 0;  ///< submitted, response not yet written
-  std::atomic<bool> closing{false};
-
-  void job_done() {
-    std::lock_guard<std::mutex> lock(mu);
-    --in_flight;
-    cv.notify_all();
-  }
-  void wait_idle() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return in_flight == 0; });
-  }
+  std::mutex mu;    ///< guards fd teardown vs stop()'s SHUT_RD
+  std::atomic<bool> alive{true};  ///< false after a write error
+  std::unique_ptr<DeliveryQueue> delivery;
 };
 
 Server::Server(ServerOptions opt) : opt_(std::move(opt)), service_(opt_.service) {}
@@ -86,6 +79,7 @@ void Server::start() {
   Scheduler::Options sopt;
   sopt.queue_capacity = opt_.queue_capacity;
   sopt.wave = opt_.wave;
+  sopt.stream_slots = opt_.stream_slots;
   scheduler_ = std::make_unique<Scheduler>(service_, sopt);
 
   running_.store(true);
@@ -101,11 +95,11 @@ void Server::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
 
   // Unblock readers stuck on read(): shut down every live connection's
-  // receive side; readers then drain their in-flight jobs and exit.
+  // receive side; readers then close their delivery queues, join their
+  // writers (which drain every already-submitted response), and exit.
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (const auto& c : conns_) {
-      c->closing.store(true);
       std::lock_guard<std::mutex> conn_lock(c->mu);
       if (c->fd >= 0) ::shutdown(c->fd, SHUT_RD);
     }
@@ -128,6 +122,7 @@ void Server::accept_loop() {
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     conn->client = scheduler_->open_client();
+    conn->delivery = std::make_unique<DeliveryQueue>(opt_.stream_window);
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.push_back(conn);
     reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
@@ -135,6 +130,20 @@ void Server::accept_loop() {
 }
 
 void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  // Writer: the single consumer of this connection's DeliveryQueue. A write
+  // error marks the consumer gone, which unwinds in-flight stream producers;
+  // the loop keeps draining so every producer finishes.
+  std::thread writer([conn] {
+    std::string bytes;
+    while (conn->delivery->next(bytes)) {
+      if (!conn->alive.load(std::memory_order_relaxed)) continue;
+      if (!write_all(conn->fd, bytes.data(), bytes.size())) {
+        conn->alive.store(false, std::memory_order_relaxed);
+        conn->delivery->shutdown();
+      }
+    }
+  });
+
   std::string buf;
   char chunk[4096];
   while (true) {
@@ -149,24 +158,36 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       start = nl + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      {
-        std::lock_guard<std::mutex> lock(conn->mu);
-        ++conn->in_flight;
+      const TransportDirective d = classify_line(line);
+      if (d.is_cancel) {
+        // Answered inline (in submission order via its own plain slot): a
+        // cancel directive must not wait behind the queue it is pruning.
+        const bool hit = scheduler_->cancel(conn->client, d.cancel_id);
+        std::string resp = "{\"id\":";
+        resp += d.id.write();
+        resp += ",\"ok\":true,\"result\":{\"cancelled\":";
+        resp += hit ? "true" : "false";
+        resp += "}}\n";
+        conn->delivery->open_plain()->set(std::move(resp));
+        continue;
       }
-      std::shared_ptr<Connection> c = conn;
-      scheduler_->submit(conn->client, std::move(line), [c](const std::string& response) {
-        if (!c->closing.load()) {
-          std::string out = response;
-          out.push_back('\n');
-          write_all(c->fd, out.data(), out.size());
-        }
-        c->job_done();
-      });
+      if (d.is_stream) {
+        scheduler_->submit_stream(conn->client, std::move(line),
+                                  conn->delivery->open_stream());
+        continue;
+      }
+      std::shared_ptr<DeliveryQueue::Plain> slot = conn->delivery->open_plain();
+      scheduler_->submit(conn->client, std::move(line),
+                         [slot](const std::string& response) {
+                           slot->set(response + "\n");
+                         });
     }
     buf.erase(0, start);
   }
-  // Let every already-submitted job deliver its response before closing.
-  conn->wait_idle();
+  // Every already-submitted job still delivers; the writer drains them all
+  // (or drops them past a write error) before the queue reports empty.
+  conn->delivery->close_submit();
+  writer.join();
   scheduler_->close_client(conn->client);
   std::lock_guard<std::mutex> lock(conn->mu);
   ::close(conn->fd);
@@ -215,6 +236,21 @@ std::string BlockingClient::recv_line() {
     if (r < 0 && errno == EINTR) continue;
     if (r <= 0) throw NumericalError("serve: connection closed while awaiting response");
     buf_.append(chunk, static_cast<std::size_t>(r));
+  }
+}
+
+std::size_t BlockingClient::recv_raw(char* out, std::size_t cap) {
+  if (!buf_.empty()) {
+    const std::size_t n = std::min(cap, buf_.size());
+    std::memcpy(out, buf_.data(), n);
+    buf_.erase(0, n);
+    return n;
+  }
+  while (true) {
+    const ssize_t r = ::read(fd_, out, cap);
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0) throw NumericalError("serve: socket read failed while streaming");
+    return static_cast<std::size_t>(r);
   }
 }
 

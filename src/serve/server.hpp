@@ -7,12 +7,16 @@
 // is exactly `ivory batch`'s stdin/stdout protocol — the same request file
 // piped through either transport yields the same per-request bytes.
 //
-// Lifecycle: one accept thread plus one reader thread per live connection.
-// A connection's reader submits lines to the scheduler; the scheduler's
-// dispatcher delivers responses through a sink that writes back to the
-// connection socket (serial per scheduler, so writes never interleave). On
-// client EOF the reader waits for that connection's in-flight jobs, then
-// closes. `stop()` shuts down accepting, drains, and joins everything.
+// Lifecycle: one accept thread plus one reader and one writer thread per
+// live connection. The reader classifies each line (plain, streamed, or
+// cancel), opens a DeliveryQueue slot in submission order, and submits to the
+// scheduler; the writer drains the DeliveryQueue to the socket, so plain
+// responses (from the dispatcher) and stream frames (from stream workers)
+// interleave on the wire in exactly submission order. A write error marks
+// the consumer gone: in-flight streams unwind via StreamEmitter::Abort and
+// the rest of the queue drains to the floor. On client EOF the reader closes
+// the queue, joins the writer, then closes. `stop()` shuts down accepting,
+// drains, and joins everything.
 #pragma once
 
 #include <atomic>
@@ -33,6 +37,8 @@ struct ServerOptions {
   ServiceOptions service;
   std::size_t queue_capacity = 1024;
   std::size_t wave = 0;
+  std::size_t stream_slots = 2;   ///< dedicated stream-worker threads
+  std::size_t stream_window = 8;  ///< max in-flight frames per stream slot
 };
 
 class Server {
@@ -64,7 +70,9 @@ class Server {
   Service service_;
   std::unique_ptr<Scheduler> scheduler_;
 
-  int listen_fd_ = -1;
+  // Atomic: stop() shuts down and invalidates the fd while accept_loop()
+  // is blocked in accept() on it.
+  std::atomic<int> listen_fd_{-1};
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
 
@@ -88,6 +96,11 @@ class BlockingClient {
   /// Blocks until a full '\n'-terminated line arrives; returns it without
   /// the newline. Throws on EOF/error.
   std::string recv_line();
+
+  /// Raw byte read for streamed responses: drains any bytes recv_line() has
+  /// buffered first, then reads from the socket. Returns the count copied
+  /// into `out`, 0 on EOF. Throws on socket error.
+  std::size_t recv_raw(char* out, std::size_t cap);
 
  private:
   int fd_ = -1;

@@ -10,6 +10,7 @@
 #include "core/pds.hpp"
 #include "core/report_json.hpp"
 #include "scenario/scenario.hpp"
+#include "serve/wave_codec.hpp"
 #include "spice/parser.hpp"
 
 namespace ivory::serve {
@@ -76,6 +77,120 @@ json::Value box_to_json(const BoxStats& b) {
   o.emplace_back("maximum", b.maximum);
   o.emplace_back("n", static_cast<std::uint64_t>(b.n));
   return json::Value(std::move(o));
+}
+
+/// Switch-level transient setup shared by the buffered (evaluate) and
+/// streamed (stream_wave1) paths: both must produce the same circuit, spec
+/// and recorded-node names so their outputs are byte-identical.
+struct SpicePrep {
+  spice::Circuit ckt;
+  spice::TranSpec spec;
+  std::vector<std::string> names;  ///< names of the effective recorded nodes
+};
+
+SpicePrep prepare_spice(const TransientParams& p, std::size_t max_samples) {
+  // Switch-level MNA transient. The same sample budget that bounds inline
+  // traces bounds the step count here.
+  require(p.tstop_s / p.dt_s <= static_cast<double>(max_samples),
+          "transient: tstop/dt exceeds the per-request sample budget");
+  SpicePrep sp;
+  sp.ckt = spice::parse_netlist(p.netlist);
+  sp.spec.tstop = p.tstop_s;
+  sp.spec.dt = p.dt_s;
+  sp.spec.method = p.trapezoidal ? spice::Integrator::Trapezoidal
+                                 : spice::Integrator::BackwardEuler;
+  sp.spec.use_ic = p.use_ic;
+  sp.spec.record_every = p.record_every;
+  sp.spec.adaptive = p.adaptive;
+  sp.spec.dv_max_v = p.dv_max_v;
+  sp.spec.dt_max = p.dt_max_s;
+  sp.spec.lu_cache_capacity = p.lu_cache_capacity;
+  sp.spec.kernel = p.kernel == "dense"    ? sparse::Kernel::Dense
+                   : p.kernel == "banded" ? sparse::Kernel::Banded
+                   : p.kernel == "sparse" ? sparse::Kernel::Sparse
+                                          : sparse::Kernel::Auto;
+  for (const std::string& name : p.record_nodes)
+    sp.spec.record_nodes.push_back(sp.ckt.find_node(name));
+  // Effective recorded nodes, mirroring the engine's default (empty = all
+  // non-ground nodes) so the names are known before the run starts.
+  std::vector<spice::NodeId> nodes = sp.spec.record_nodes;
+  if (nodes.empty())
+    for (int n = 1; n < sp.ckt.node_count(); ++n) nodes.push_back(n);
+  sp.names.reserve(nodes.size());
+  for (const spice::NodeId n : nodes) sp.names.push_back(sp.ckt.node_name(n));
+  return sp;
+}
+
+/// Behavioural (cycle-model) waveform shared by both paths.
+core::DynWaveform behavioural_waveform(const TransientParams& p,
+                                       std::size_t max_samples) {
+  std::vector<double> i_load;
+  if (p.has_workload) {
+    const std::size_t n_samples = static_cast<std::size_t>(p.duration_s / p.dt_s);
+    require(n_samples <= max_samples,
+            "transient: duration/dt exceeds the per-request sample budget");
+    const auto traces = workload::generate_gpu_traces(p.benchmark, p.n_sm, p.sm_avg_w,
+                                                      p.duration_s, p.dt_s, p.seed);
+    const workload::DigitalLoadModel load =
+        workload::DigitalLoadModel::from_average_power(p.sm_avg_w, p.vref_v, 1e9, 0.2);
+    i_load.assign(traces[0].watts.size(), 0.0);
+    for (const workload::PowerTrace& t : traces) {
+      const std::vector<double> i = workload::power_to_current(t, load, p.vref_v);
+      for (std::size_t k = 0; k < i_load.size(); ++k) i_load[k] += i[k];
+    }
+  } else {
+    require(p.i_load_a.size() <= max_samples,
+            "transient: inline trace exceeds the per-request sample budget");
+    i_load = p.i_load_a;
+  }
+  core::DynWaveform w;
+  switch (p.kind) {
+    case TransientParams::Kind::Sc:
+      w = core::sc_combined_response(p.sc, p.vin_v, p.vref_v, i_load, p.dt_s);
+      break;
+    case TransientParams::Kind::Buck:
+      w = core::buck_combined_response(p.buck, p.vin_v, p.vref_v, i_load, p.dt_s);
+      break;
+    case TransientParams::Kind::Ldo:
+      w = core::ldo_combined_response(p.ldo, p.vin_v, p.vref_v, i_load, p.dt_s);
+      break;
+    case TransientParams::Kind::Dldo:
+      w = core::dldo_combined_response(p.dldo, p.vin_v, p.vref_v, i_load, p.dt_s);
+      break;
+    case TransientParams::Kind::Spice:
+      throw InvalidParameter("transient: spice kind has no behavioural waveform");
+  }
+  return w;
+}
+
+/// The behavioural summary object *without* the trailing waveform member —
+/// the streamed path splices the column in after these exact bytes.
+json::Value behavioural_summary(const core::DynWaveform& w) {
+  // Settled statistics skip the first fifth (startup transient), the same
+  // warmup convention the CLI's `dynamic` subcommand uses.
+  const std::vector<double> tail(w.v.begin() + static_cast<long>(w.v.size() / 5),
+                                 w.v.end());
+  json::Value::Object o;
+  o.emplace_back("n_samples", static_cast<std::uint64_t>(w.v.size()));
+  o.emplace_back("dt_s", w.dt_s);
+  o.emplace_back("mean_v", mean(tail));
+  o.emplace_back("p2p_v", peak_to_peak(tail));
+  o.emplace_back("box", box_to_json(box_stats(tail)));
+  return json::Value(std::move(o));
+}
+
+/// Registry handles for the streamed pipeline.
+struct StreamMetrics {
+  metrics::Counter& requests = metrics::registry().counter("serve.stream.requests");
+  metrics::Counter& chunks = metrics::registry().counter("serve.stream.chunks");
+  metrics::Counter& cancelled = metrics::registry().counter("serve.stream.cancelled");
+  metrics::Counter& expired = metrics::registry().counter("serve.stream.expired");
+  metrics::Counter& errors = metrics::registry().counter("serve.stream.errors");
+};
+
+StreamMetrics& stream_metrics() {
+  static StreamMetrics m;
+  return m;
 }
 
 }  // namespace
@@ -330,92 +445,154 @@ std::string Service::evaluate(const Request& req) {
     case Op::Transient: {
       const TransientParams p = transient_params(req.body);
       if (p.kind == TransientParams::Kind::Spice) {
-        // Switch-level MNA transient. The same sample budget that bounds
-        // inline traces bounds the step count here.
-        require(p.tstop_s / p.dt_s <= static_cast<double>(opt_.max_samples),
-                "transient: tstop/dt exceeds the per-request sample budget");
-        const spice::Circuit ckt = spice::parse_netlist(p.netlist);
-        spice::TranSpec spec;
-        spec.tstop = p.tstop_s;
-        spec.dt = p.dt_s;
-        spec.method = p.trapezoidal ? spice::Integrator::Trapezoidal
-                                    : spice::Integrator::BackwardEuler;
-        spec.use_ic = p.use_ic;
-        spec.record_every = p.record_every;
-        spec.adaptive = p.adaptive;
-        spec.dv_max_v = p.dv_max_v;
-        spec.dt_max = p.dt_max_s;
-        spec.lu_cache_capacity = p.lu_cache_capacity;
-        spec.kernel = p.kernel == "dense"    ? sparse::Kernel::Dense
-                      : p.kernel == "banded" ? sparse::Kernel::Banded
-                      : p.kernel == "sparse" ? sparse::Kernel::Sparse
-                                             : sparse::Kernel::Auto;
-        for (const std::string& name : p.record_nodes)
-          spec.record_nodes.push_back(ckt.find_node(name));
-        const spice::TranResult res = spice::transient(ckt, spec);
-        std::vector<std::string> names;
-        names.reserve(res.nodes.size());
-        for (const spice::NodeId n : res.nodes) names.push_back(ckt.node_name(n));
-        return core::to_json(res, names, p.return_waveform).write();
+        SpicePrep sp = prepare_spice(p, opt_.max_samples);
+        const spice::TranResult res = spice::transient(sp.ckt, sp.spec);
+        return core::to_json(res, sp.names, p.return_waveform).write();
       }
-      std::vector<double> i_load;
-      if (p.has_workload) {
-        const std::size_t n_samples =
-            static_cast<std::size_t>(p.duration_s / p.dt_s);
-        require(n_samples <= opt_.max_samples,
-                "transient: duration/dt exceeds the per-request sample budget");
-        const auto traces = workload::generate_gpu_traces(
-            p.benchmark, p.n_sm, p.sm_avg_w, p.duration_s, p.dt_s, p.seed);
-        const workload::DigitalLoadModel load =
-            workload::DigitalLoadModel::from_average_power(p.sm_avg_w, p.vref_v, 1e9, 0.2);
-        i_load.assign(traces[0].watts.size(), 0.0);
-        for (const workload::PowerTrace& t : traces) {
-          const std::vector<double> i = workload::power_to_current(t, load, p.vref_v);
-          for (std::size_t k = 0; k < i_load.size(); ++k) i_load[k] += i[k];
-        }
-      } else {
-        require(p.i_load_a.size() <= opt_.max_samples,
-                "transient: inline trace exceeds the per-request sample budget");
-        i_load = p.i_load_a;
-      }
-      core::DynWaveform w;
-      switch (p.kind) {
-        case TransientParams::Kind::Sc:
-          w = core::sc_combined_response(p.sc, p.vin_v, p.vref_v, i_load, p.dt_s);
-          break;
-        case TransientParams::Kind::Buck:
-          w = core::buck_combined_response(p.buck, p.vin_v, p.vref_v, i_load, p.dt_s);
-          break;
-        case TransientParams::Kind::Ldo:
-          w = core::ldo_combined_response(p.ldo, p.vin_v, p.vref_v, i_load, p.dt_s);
-          break;
-        case TransientParams::Kind::Dldo:
-          w = core::dldo_combined_response(p.dldo, p.vin_v, p.vref_v, i_load, p.dt_s);
-          break;
-        case TransientParams::Kind::Spice: break;  // handled above
-      }
-      // Settled statistics skip the first fifth (startup transient), the
-      // same warmup convention the CLI's `dynamic` subcommand uses.
-      const std::vector<double> tail(w.v.begin() + static_cast<long>(w.v.size() / 5),
-                                     w.v.end());
-      Value::Object o;
-      o.emplace_back("n_samples", static_cast<std::uint64_t>(w.v.size()));
-      o.emplace_back("dt_s", w.dt_s);
-      o.emplace_back("mean_v", mean(tail));
-      o.emplace_back("p2p_v", peak_to_peak(tail));
-      o.emplace_back("box", box_to_json(box_stats(tail)));
+      const core::DynWaveform w = behavioural_waveform(p, opt_.max_samples);
+      Value summary = behavioural_summary(w);
       if (p.return_waveform) {
         Value::Array wave;
         wave.reserve(w.v.size());
         for (const double v : w.v) wave.push_back(v);
-        o.emplace_back("waveform", Value(std::move(wave)));
+        summary.set("waveform", Value(std::move(wave)));
       }
-      return Value(std::move(o)).write();
+      return summary.write();
     }
     case Op::Stats: break;    // handled before evaluate()
     case Op::Metrics: break;  // handled before evaluate()
   }
   throw NumericalError("serve: unreachable op dispatch");
+}
+
+void Service::handle_stream(const std::string& line, StreamEmitter& em) {
+  IVORY_TRACE("serve.stream.request");
+  StreamMetrics& sm = stream_metrics();
+  json::Value id;  // null until the request proves it has one
+
+  json::Value root;
+  try {
+    root = json::Value::parse(line);
+  } catch (const std::exception& e) {
+    n_requests_.fetch_add(1, std::memory_order_relaxed);
+    serve_metrics().requests.add();
+    sm.requests.add();
+    n_errors_.fetch_add(1, std::memory_order_relaxed);
+    serve_metrics().errors.add();
+    sm.errors.add();
+    em.error(error_response(id, "bad_request", e.what()));
+    return;
+  }
+  if (const json::Value* i = root.find("id"))
+    if (i->is_null() || i->is_string() || i->is_number()) id = *i;
+
+  Request req;
+  try {
+    req = parse_request(root);
+  } catch (const std::exception& e) {
+    n_requests_.fetch_add(1, std::memory_order_relaxed);
+    serve_metrics().requests.add();
+    sm.requests.add();
+    n_errors_.fetch_add(1, std::memory_order_relaxed);
+    serve_metrics().errors.add();
+    sm.errors.add();
+    em.error(error_response(id, "bad_request", e.what()));
+    return;
+  }
+  em.set_chunk_bytes(req.chunk_bytes);
+  const std::string id_json = req.id.write();
+
+  if (req.encoding != "wave1") {
+    // json encoding: the full buffered pipeline (cache included) sliced
+    // into CHUNK frames. handle_line counts the request itself. The END
+    // status is "ok" even when the response is an {"ok":false,...}
+    // envelope — transport success; the client decodes the envelope.
+    sm.requests.add();
+    try {
+      const std::string resp = handle_line(line);
+      em.header("{\"id\":" + id_json + ",\"encoding\":\"json\"}");
+      em.chunk_split(resp);
+      sm.chunks.add(em.chunks_emitted());
+      em.end("{\"id\":" + id_json + ",\"status\":\"ok\",\"chunks\":" +
+             std::to_string(em.chunks_emitted()) + "}");
+    } catch (const StreamEmitter::Abort& a) {
+      switch (a.reason) {
+        case StreamEmitter::Abort::Reason::Cancelled:
+          sm.cancelled.add();
+          em.cancel_ack(stream_status_payload(id_json, "cancelled"));
+          break;
+        case StreamEmitter::Abort::Reason::Expired:
+          sm.expired.add();
+          em.end(stream_status_payload(id_json, "deadline_exceeded"));
+          break;
+        case StreamEmitter::Abort::Reason::ConsumerGone:
+          break;  // nobody left to tell
+      }
+    }
+    return;
+  }
+
+  // wave1: samples stream straight out of the engine; the cache is
+  // bypassed (the response never exists as one contiguous buffer).
+  n_requests_.fetch_add(1, std::memory_order_relaxed);
+  serve_metrics().requests.add();
+  sm.requests.add();
+  try {
+    if (req.op != Op::Transient)
+      throw InvalidParameter("stream: encoding 'wave1' requires op 'transient'");
+    stream_wave1(req, em);
+    sm.chunks.add(em.chunks_emitted());
+  } catch (const StreamEmitter::Abort& a) {
+    switch (a.reason) {
+      case StreamEmitter::Abort::Reason::Cancelled:
+        sm.cancelled.add();
+        em.cancel_ack(stream_status_payload(id_json, "cancelled"));
+        break;
+      case StreamEmitter::Abort::Reason::Expired:
+        sm.expired.add();
+        em.end(stream_status_payload(id_json, "deadline_exceeded"));
+        break;
+      case StreamEmitter::Abort::Reason::ConsumerGone:
+        break;  // client hung up; frames have nowhere to go
+    }
+  } catch (const std::exception&) {
+    n_errors_.fetch_add(1, std::memory_order_relaxed);
+    serve_metrics().errors.add();
+    sm.errors.add();
+    const Diagnostics d = diagnose_current_exception(
+        std::string("serve.stream.") + op_name(req.op), candidate_label(req));
+    json::Value::Object err;
+    err.emplace_back("code", error_code_name(d.code));
+    err.emplace_back("site", d.site);
+    err.emplace_back("candidate", d.candidate);
+    err.emplace_back("detail", d.detail);
+    em.error(error_envelope(req.id, json::Value(std::move(err))));
+  }
+}
+
+void Service::stream_wave1(const Request& req, StreamEmitter& em) {
+  const TransientParams p = transient_params(req.body);
+  if (!p.return_waveform)
+    throw InvalidParameter("stream: encoding 'wave1' requires return_waveform=true");
+  const std::string id_json = req.id.write();
+  n_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  serve_metrics().evaluations.add();
+
+  if (p.kind == TransientParams::Kind::Spice) {
+    SpicePrep sp = prepare_spice(p, opt_.max_samples);
+    Wave1TransientStream ws(em, id_json, sp.names);
+    sp.spec.sample_sink = ws.sink();
+    const spice::TranResult res = spice::transient(sp.ckt, sp.spec);
+    ws.finish(res);
+    return;
+  }
+  const core::DynWaveform w = behavioural_waveform(p, opt_.max_samples);
+  Wave1ColumnStream cs(em, id_json, "waveform");
+  for (const double v : w.v) {
+    em.check_abort();
+    cs.push(v);
+  }
+  cs.finish(behavioural_summary(w).write());
 }
 
 ServiceStats Service::stats() const {

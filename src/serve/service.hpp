@@ -27,6 +27,7 @@
 #include <string>
 
 #include "serve/cache.hpp"
+#include "serve/frame.hpp"
 #include "serve/request.hpp"
 #include "serve/store.hpp"
 
@@ -73,6 +74,17 @@ class Service {
   /// this concurrently.
   std::string handle_line(const std::string& line);
 
+  /// Streamed pipeline for one request line: emits HEADER/CHUNK/terminal
+  /// frames through `em` instead of returning a line. Never throws.
+  ///
+  /// encoding "json" runs the full handle_line path (cache included) and
+  /// slices the response into CHUNKs. encoding "wave1" requires a transient
+  /// with return_waveform; it bypasses the result cache and streams samples
+  /// straight out of the engine, so the resident response footprint is
+  /// bounded by the chunk budget, not the waveform length. Cancel/deadline
+  /// mid-stream terminate with CANCEL_ACK / END{deadline_exceeded}.
+  void handle_stream(const std::string& line, StreamEmitter& em);
+
   ServiceStats stats() const;
 
   /// Builds an error response envelope (also used by the scheduler for
@@ -85,6 +97,7 @@ class Service {
 
  private:
   std::string evaluate(const Request& req);  ///< result payload JSON; throws
+  void stream_wave1(const Request& req, StreamEmitter& em);  ///< throws
 
   ServiceOptions opt_;
   ResultCache cache_;

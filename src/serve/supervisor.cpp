@@ -13,6 +13,7 @@
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/metrics.hpp"
+#include "serve/frame.hpp"
 
 namespace ivory::serve {
 
@@ -112,12 +113,16 @@ struct Supervisor::Worker {
 };
 
 /// One client connection pinned to one worker: two pump threads and the
-/// newline bookkeeping that turns a worker crash into retryable errors.
+/// response bookkeeping that turns a worker crash into retryable errors.
+/// Requests are always newline-delimited lines; responses may be binary
+/// streams, so the w2c pump counts them through a frame-aware
+/// ResponseScanner instead of counting newlines.
 struct Supervisor::Proxy {
   int client_fd = -1;
   int worker_fd = -1;
   std::atomic<std::uint64_t> requests{0};   ///< newlines client -> worker
-  std::atomic<std::uint64_t> responses{0};  ///< newlines worker -> client
+  std::atomic<std::uint64_t> responses{0};  ///< completed responses worker -> client
+  ResponseScanner scanner;                  ///< w2c pump thread only
   std::atomic<bool> done_c2w{false};
   std::atomic<bool> done_w2c{false};
   std::thread t_c2w;
@@ -453,17 +458,33 @@ void Supervisor::accept_loop() {
     });
     p->t_w2c = std::thread([this, p] {
       char buf[1 << 16];
+      std::string fwd;
       while (true) {
         const ssize_t r = ::recv(p->worker_fd, buf, sizeof buf, 0);
         if (r < 0 && errno == EINTR) continue;
         if (r <= 0) break;
-        p->responses.fetch_add(count_newlines(buf, static_cast<std::size_t>(r)));
-        if (!send_all(p->client_fd, buf, static_cast<std::size_t>(r))) break;
+        // Frame-aware accounting: '\n' inside a binary frame is payload, not
+        // a response boundary. The scanner also withholds a partially
+        // received frame, so a worker crash mid-frame forwards nothing torn.
+        fwd.clear();
+        p->responses.fetch_add(p->scanner.feed(buf, static_cast<std::size_t>(r), fwd));
+        if (!fwd.empty() && !send_all(p->client_fd, fwd.data(), fwd.size())) break;
       }
       // Worker gone. Any unanswered request becomes a structured retryable
       // error — the contract that a crash never leaves a client hanging.
-      const std::uint64_t asked = p->requests.load();
-      const std::uint64_t answered = p->responses.load();
+      std::uint64_t asked = p->requests.load();
+      std::uint64_t answered = p->responses.load();
+      if (p->scanner.mid_stream() && asked > answered) {
+        // The stream that died mid-flight gets its retryable error as a
+        // terminal ERROR frame, so the client's frame parser ends cleanly
+        // instead of choking on a JSON line inside a binary stream.
+        retry_errors_.fetch_add(1, std::memory_order_relaxed);
+        g_retry_errors().add();
+        ++answered;
+        std::string bytes;
+        encode_frame(bytes, FrameType::Error, retryable_error_line());
+        send_all(p->client_fd, bytes.data(), bytes.size());
+      }
       if (asked > answered) {
         const std::string line = retryable_error_line() + "\n";
         for (std::uint64_t i = answered; i < asked; ++i) {

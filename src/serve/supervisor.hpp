@@ -123,7 +123,9 @@ class Supervisor {
   SupervisorOptions opt_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
-  int listen_fd_ = -1;
+  // Atomic: stop() shuts down and invalidates the fd while accept_loop()
+  // is blocked in accept() on it.
+  std::atomic<int> listen_fd_{-1};
   std::thread accept_thread_;
   std::thread monitor_thread_;
 

@@ -443,7 +443,16 @@ TranResult transient(const Circuit& c, const TranSpec& spec) {
     for (int n = 1; n < c.node_count(); ++n) res.nodes.push_back(n);
   res.voltages.assign(res.nodes.size(), {});
 
+  // Hoisted scratch row for the streaming sink: the record path stays
+  // allocation-free either way.
+  std::vector<double> sink_row(spec.sample_sink ? res.nodes.size() : 0);
   auto record = [&](double t) {
+    if (spec.sample_sink) {
+      for (std::size_t i = 0; i < res.nodes.size(); ++i)
+        sink_row[i] = st.node_v[static_cast<std::size_t>(res.nodes[i])];
+      spec.sample_sink(t, sink_row.data(), sink_row.size());
+      return;
+    }
     res.time.push_back(t);
     for (std::size_t i = 0; i < res.nodes.size(); ++i)
       res.voltages[i].push_back(st.node_v[static_cast<std::size_t>(res.nodes[i])]);

@@ -13,6 +13,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,15 @@ struct TranSpec {
   /// grids go banded, irregular large systems go general sparse. Any other
   /// value forces that kernel.
   sparse::Kernel kernel = sparse::Kernel::Auto;
+
+  /// Streaming sample sink. When set, every recorded row is delivered here
+  /// — (time, voltages of the recorded nodes in TranResult::nodes order, row
+  /// width) — instead of being appended to TranResult::time/voltages, which
+  /// stay empty; the counters in the returned TranResult are unaffected. The
+  /// rows arrive in simulation order on the calling thread. Exceptions
+  /// thrown by the sink propagate out of transient() (the streamed serve
+  /// transport uses this to abort a cancelled request mid-run).
+  std::function<void(double t, const double* v, std::size_t n)> sample_sink;
 };
 
 struct TranResult {

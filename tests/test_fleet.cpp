@@ -9,14 +9,19 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/json.hpp"
+#include "serve/frame.hpp"
 #include "serve/server.hpp"
 #include "serve/supervisor.hpp"
+#include "serve/wave_codec.hpp"
 
 namespace ivory::serve {
 namespace {
@@ -152,6 +157,56 @@ TEST_F(FleetTest, KilledWorkerMidRequestYieldsRetryableErrorThenRecovers) {
   std::uint64_t restarts = 0;
   for (const WorkerStatus& w : fleet.stats().workers) restarts += w.restarts;
   EXPECT_GE(restarts, 1u);
+  fleet.stop();
+}
+
+TEST_F(FleetTest, KilledWorkerMidStreamYieldsRetryableErrorFrame) {
+  Supervisor fleet(base_options(1));
+  fleet.start();
+
+  // The slow solve as a wave1 stream with small chunks: frames start flowing
+  // within milliseconds, so a SIGKILL after the first CHUNK provably lands
+  // mid-stream — the case the mux must terminate with an ERROR frame (a bare
+  // JSON line here would corrupt the client's frame parser).
+  json::Value req = json::Value::parse(kSlowRequest);
+  req.set("return_waveform", json::Value(true));
+  req.set("stream", json::Value(true));
+  req.set("encoding", json::Value(std::string("wave1")));
+  req.set("chunk_bytes", json::Value(std::uint64_t{1024}));
+
+  BlockingClient client(fleet.socket_path());
+  client.send_line(req.write());
+
+  FrameDecoder dec;
+  StreamAssembler out;
+  bool killed = false;
+  char buf[4096];
+  while (!out.done()) {
+    const std::size_t n = client.recv_raw(buf, sizeof buf);
+    ASSERT_GT(n, 0u) << "connection closed without a terminal frame";
+    dec.feed(std::string_view(buf, n));
+    while (!out.done()) {
+      const std::optional<Frame> f = dec.next();
+      if (!f) break;
+      out.on_frame(*f);
+      if (!killed && f->type == FrameType::Chunk) {
+        const std::vector<pid_t> pids = healthy_pids(fleet);
+        ASSERT_FALSE(pids.empty());
+        for (const pid_t pid : pids) ::kill(pid, SIGKILL);
+        killed = true;
+      }
+    }
+  }
+  ASSERT_TRUE(killed);
+  EXPECT_EQ(out.status(), "error");
+  EXPECT_EQ(out.decoded(), Supervisor::retryable_error_line());
+  EXPECT_GE(fleet.stats().retry_errors, 1u);
+
+  // The monitor restarts the worker and the same contract succeeds again.
+  ASSERT_TRUE(eventually(15000ms, [&] {
+    return round_trip(fleet.socket_path(), kFastRequest).find("\"ok\":true") !=
+           std::string::npos;
+  }));
   fleet.stop();
 }
 

@@ -37,6 +37,9 @@
 #include "serve/batch.hpp"
 #include "serve/server.hpp"
 #include "serve/supervisor.hpp"
+#include "serve/wave_codec.hpp"
+
+#include <chrono>
 
 using namespace ivory;
 
@@ -502,6 +505,34 @@ int cmd_transient(const Args& a) {
     pos = comma + 1;
   }
 
+  if (a.str("encoding", "table") == "wave1") {
+    // Raw wave1 frame stream on stdout (magic + HEADER/CHUNK/END), exactly
+    // the bytes `ivory serve` would stream for this transient — pipe it to a
+    // decoder or a file. The cost summary stays on stderr as usual.
+    std::vector<std::string> names;
+    std::vector<spice::NodeId> nodes = spec.record_nodes;
+    if (nodes.empty())
+      for (int n = 1; n < ckt.node_count(); ++n) nodes.push_back(n);
+    for (const spice::NodeId n : nodes) names.push_back(ckt.node_name(n));
+    serve::StreamEmitter em(
+        [](std::string&& bytes) {
+          return std::fwrite(bytes.data(), 1, bytes.size(), stdout) == bytes.size();
+        },
+        nullptr, 0.0, std::chrono::steady_clock::now());
+    const int chunk = a.integer("chunk-bytes", 0);
+    if (chunk > 0) em.set_chunk_bytes(static_cast<std::size_t>(chunk));
+    serve::Wave1TransientStream ws(em, "null", std::move(names));
+    spec.sample_sink = ws.sink();
+    const spice::TranResult res = spice::transient(ckt, spec);
+    ws.finish(res);
+    std::fflush(stdout);
+    std::fprintf(stderr, "ivory transient: streamed %llu rows in %llu chunks (wave1)\n",
+                 static_cast<unsigned long long>(ws.rows()),
+                 static_cast<unsigned long long>(em.chunks_emitted()));
+    write_metrics_out(a);
+    return 0;
+  }
+
   const spice::TranResult res = spice::transient(ckt, spec);
 
   TextTable t({"node", "final (V)", "mean (V)", "min (V)", "max (V)"});
@@ -713,13 +744,55 @@ int cmd_client(const Args& a) {
   // Minimal socket client for scripts and smoke tests: NDJSON requests on
   // stdin, one response line per request on stdout (strict ordering is the
   // transport contract). Exit 1 when the connection dies mid-stream.
+  //
+  // --stream json|wave1 adds the stream envelope fields to every request and
+  // reassembles each frame stream back into the exact non-streaming response
+  // line, so the output is byte-identical to --stream off against the same
+  // server. --stream frames sends lines verbatim (the caller's JSON carries
+  // its own stream fields) and prints a deterministic per-frame transcript —
+  // the conformance surface the golden stream test diffs.
+  const std::string mode = a.str("stream", "off");
+  if (mode != "off" && mode != "json" && mode != "wave1" && mode != "frames")
+    throw UsageError("unknown --stream '" + mode + "' (off|json|wave1|frames)");
+  const int chunk_bytes = a.integer("chunk-bytes", 0);
   serve::BlockingClient client(a.require_str("socket"));
+  const auto raw_read = [&client](char* out, std::size_t cap) {
+    return client.recv_raw(out, cap);
+  };
   std::string line;
   while (std::getline(std::cin, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
+
+    if (mode == "json" || mode == "wave1") {
+      json::Value root = json::Value::parse(line);
+      root.set("stream", json::Value(true));
+      root.set("encoding", json::Value(mode));
+      if (chunk_bytes > 0)
+        root.set("chunk_bytes", json::Value(static_cast<std::uint64_t>(chunk_bytes)));
+      client.send_line(root.write());
+      const serve::StreamAssembler asm_ = serve::read_stream(raw_read);
+      std::printf("%s\n", asm_.decoded().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+
     client.send_line(line);
-    std::printf("%s\n", client.recv_line().c_str());
+    const serve::TransportDirective d = serve::classify_line(line);
+    if (mode == "frames" && d.is_stream) {
+      const serve::StreamAssembler asm_ =
+          serve::read_stream(raw_read, [](const serve::Frame& f) {
+            if (f.type == serve::FrameType::Chunk)
+              std::printf("CHUNK bytes=%zu fnv=%016llx\n", f.payload.size(),
+                          static_cast<unsigned long long>(
+                              serve::frame_checksum(f.type, f.payload)));
+            else
+              std::printf("%s %s\n", serve::frame_type_name(f.type), f.payload.c_str());
+          });
+      std::printf("%s\n", asm_.decoded().c_str());
+    } else {
+      std::printf("%s\n", client.recv_line().c_str());
+    }
     std::fflush(stdout);
   }
   return 0;
@@ -747,8 +820,10 @@ void usage() {
       "                  server-diurnal)\n"
       "  ivory transient --netlist FILE --tstop s --dt s [--method trap|be --uic 1\n"
       "                  --record n1,n2 --record-every N --adaptive 1 --dv-max V\n"
-      "                  --dt-max s --lu-cache N --kernel auto|dense|banded|sparse]\n"
-      "                  (cost counters on stderr)\n"
+      "                  --dt-max s --lu-cache N --kernel auto|dense|banded|sparse\n"
+      "                  --encoding wave1 --chunk-bytes N]\n"
+      "                  (cost counters on stderr; --encoding wave1 streams raw\n"
+      "                  binary waveform frames on stdout)\n"
       "  ivory batch    [--repeat N --threads N --cache N --queue N --wave N\n"
       "                  --cache-dir PATH --store-max-bytes B]\n"
       "                  NDJSON requests on stdin -> NDJSON responses on stdout\n"
@@ -759,8 +834,10 @@ void usage() {
       "                  (SIGTERM drains; tuning: --backoff-ms --flap-limit\n"
       "                  --drain-ms --health-ms); --cache-dir adds a durable\n"
       "                  content-addressed result store shared by all workers\n"
-      "  ivory client   --socket PATH\n"
-      "                  NDJSON on stdin -> response lines on stdout (for scripts)\n"
+      "  ivory client   --socket PATH [--stream off|json|wave1|frames --chunk-bytes N]\n"
+      "                  NDJSON on stdin -> response lines on stdout (for scripts);\n"
+      "                  --stream json|wave1 negotiates framed streaming and decodes\n"
+      "                  back to the identical lines, frames prints a transcript\n"
       "  ivory metrics  [--socket PATH --format json|prometheus]\n"
       "                  metrics-registry snapshot (of a running server with --socket)\n\n"
       "batch/transient/explore also take --metrics-out FILE to dump the process\n"

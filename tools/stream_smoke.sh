@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Golden stream transcript over the real `ivory` binary.
+#
+# Starts a single-process server, replays tests/golden/stream_smoke.ndjson
+# through `ivory client --stream frames` (each streamed request prints its
+# frame-by-frame transcript — HEADER/END payloads, CHUNK sizes + checksums —
+# followed by the reassembled response line; plain lines pass through
+# unframed), and byte-diffs the transcript against
+# tests/golden/stream_smoke.expected.
+#
+# Usage: stream_smoke.sh [--update] /path/to/ivory
+#
+# --update rewrites the expected file from the current build instead of
+# diffing (invoked by tools/update_golden.sh; review the diff like any other
+# code change).
+set -u
+
+UPDATE=0
+if [ "${1:-}" = "--update" ]; then
+  UPDATE=1
+  shift
+fi
+IVORY="${1:?usage: stream_smoke.sh [--update] /path/to/ivory}"
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+golden="$repo/tests/golden"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/ivory-stream-smoke-XXXXXX")"
+SOCK="$WORK/sock"
+SERVE_PID=""
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+cleanup() {
+  exec 3>&- 2>/dev/null || true
+  if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -TERM "$SERVE_PID" 2>/dev/null
+    wait "$SERVE_PID" 2>/dev/null
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# A single-mode server exits on stdin EOF, so hold its stdin open through a
+# FIFO for the duration of the test.
+mkfifo "$WORK/stdin.fifo"
+exec 3<>"$WORK/stdin.fifo"
+"$IVORY" serve --socket "$SOCK" --threads 2 <"$WORK/stdin.fifo" \
+  2>"$WORK/serve.log" &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+  if echo '{"op":"stats","id":0}' | "$IVORY" client --socket "$SOCK" \
+      >/dev/null 2>&1; then
+    break
+  fi
+  kill -0 "$SERVE_PID" 2>/dev/null \
+    || fail "server died during startup: $(cat "$WORK/serve.log")"
+  sleep 0.1
+done
+
+"$IVORY" client --socket "$SOCK" --stream frames \
+  <"$golden/stream_smoke.ndjson" >"$WORK/actual" 2>"$WORK/client.log" \
+  || fail "client exited non-zero: $(cat "$WORK/client.log")"
+
+if [ "$UPDATE" = 1 ]; then
+  cp "$WORK/actual" "$golden/stream_smoke.expected"
+  lines=$(wc -l <"$golden/stream_smoke.expected")
+  echo "stream_smoke: wrote $golden/stream_smoke.expected ($lines lines)"
+  exit 0
+fi
+
+if ! cmp -s "$golden/stream_smoke.expected" "$WORK/actual"; then
+  diff -u "$golden/stream_smoke.expected" "$WORK/actual" | head -40 >&2
+  fail "stream transcript differs from tests/golden/stream_smoke.expected"
+fi
+echo "PASS: stream transcript matches golden ($(wc -l <"$WORK/actual") lines)"

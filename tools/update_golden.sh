@@ -23,4 +23,8 @@ fi
 
 lines=$(wc -l < "$golden/batch_smoke.expected")
 echo "update_golden: wrote $golden/batch_smoke.expected ($lines responses)"
+
+# The streamed-frame transcript golden (server + `client --stream frames`).
+"$repo/tools/stream_smoke.sh" --update "$ivory"
+
 echo "update_golden: review 'git diff tests/golden' before committing"
